@@ -1,0 +1,82 @@
+"""ABL-CTRL — ablation: the feedback auto-tuner vs a static (t, N) grid.
+
+DESIGN.md's ablation of the paper's central design choice: instead of the
+user sweeping fixed configurations (the paper's critique of PyTorch's
+``num_workers``), PRISMA's control loop should land within a few percent of
+the best static point — without the sweep.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentScale
+from repro.experiments.ablation import autotune_point, best_static, static_grid
+
+SCALE = ExperimentScale(scale=200, epochs=1)
+
+_grid = {}
+
+
+def grid():
+    if "points" not in _grid:
+        _grid["points"] = static_grid(
+            producers=(1, 2, 4, 8), buffers=(64, 512), scale=SCALE
+        )
+        _grid["auto"] = autotune_point(scale=SCALE)
+    return _grid["points"], _grid["auto"]
+
+
+def test_ablation_static_grid(benchmark):
+    points, _ = benchmark.pedantic(grid, rounds=1, iterations=1)
+    benchmark.extra_info["grid"] = {
+        p.label: round(p.paper_equivalent_seconds) for p in points
+    }
+    # More producers help monotonically at fixed N (I/O-bound LeNet).
+    by_t = {p.detail["producers"]: p.paper_equivalent_seconds
+            for p in points if p.detail["buffer"] == 512}
+    assert by_t[1] > by_t[2] > by_t[4]
+
+
+def test_ablation_autotune_balanced_tradeoff(benchmark):
+    """The paper's claim is *balance*, not the absolute optimum: the tuner
+    stops at the concurrency knee, conceding a bounded slice of performance
+    to the most resource-hungry static point while using ≤ half its
+    threads (exactly the PRISMA-vs-TF-optimized relationship of Fig. 2/3).
+    """
+
+    def compare():
+        points, auto = grid()
+        best = best_static(points)
+        return auto.paper_equivalent_seconds / best.paper_equivalent_seconds, auto, best
+
+    ratio, auto, best = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["autotune_s"] = round(auto.paper_equivalent_seconds)
+    benchmark.extra_info["best_static"] = best.label
+    benchmark.extra_info["best_static_s"] = round(best.paper_equivalent_seconds)
+    benchmark.extra_info["ratio"] = round(ratio, 3)
+    # Bounded concession to the brute-force point...
+    assert ratio < 1.35
+    # ...at no more than half its thread budget.
+    assert auto.detail["final_producers"] * 2 <= best.detail["producers"]
+
+    # And the tuner matches the best static point of its own resource
+    # class: no static (t <= tuned t) configuration beats it meaningfully.
+    points, _ = grid()
+    same_class = [
+        p for p in points if p.detail["producers"] <= auto.detail["final_producers"]
+    ]
+    assert auto.paper_equivalent_seconds <= min(
+        p.paper_equivalent_seconds for p in same_class
+    ) * 1.05
+
+
+def test_ablation_autotune_beats_bad_static_choices(benchmark):
+    def worst_gap():
+        points, auto = grid()
+        worst = max(points, key=lambda p: p.paper_equivalent_seconds)
+        return worst.paper_equivalent_seconds / auto.paper_equivalent_seconds
+
+    gap = benchmark.pedantic(worst_gap, rounds=1, iterations=1)
+    benchmark.extra_info["worst_static_over_autotune"] = round(gap, 2)
+    # A mis-configured static deployment is dramatically worse — the cost
+    # the auto-tuner saves users from (paper §V-B's PyTorch argument).
+    assert gap > 1.5

@@ -1,0 +1,100 @@
+"""FIG2 — regenerate Figure 2: TF baseline vs optimized vs PRISMA.
+
+Paper: average 10-epoch ImageNet training time on 4 GPUs for LeNet, AlexNet
+and ResNet-50 at batch sizes 64/128/256.  The bench runs each (model,
+batch, setup) cell at the calibrated scale and records paper-equivalent
+seconds plus the paper's quoted anchors in ``extra_info``.
+
+Expected shape (asserted):
+
+* LeNet: baseline ≈ 4100-4200 s; PRISMA cuts >45 %; TF-opt cuts more;
+* AlexNet: PRISMA cuts ≈ 20 %;
+* ResNet-50: all three setups within a few percent (compute-bound).
+"""
+
+import pytest
+
+from repro.experiments import ExperimentScale, run_tf_trial
+from repro.experiments.figure2 import paper_reference
+from repro.frameworks.models import ALEXNET, LENET, RESNET50, get_model
+from repro.metrics import reduction_percent
+
+#: Bench scale: 12.8k train files -> 200 batches/epoch at bs64.
+SCALE = ExperimentScale(scale=100, epochs=2)
+
+_cache = {}
+
+
+def cell(setup: str, model_name: str, batch: int) -> float:
+    key = (setup, model_name, batch)
+    if key not in _cache:
+        trial = run_tf_trial(setup, get_model(model_name), batch, SCALE)
+        _cache[key] = trial.paper_equivalent_seconds
+    return _cache[key]
+
+
+@pytest.mark.parametrize("batch", [64, 128, 256])
+@pytest.mark.parametrize("setup", ["tf-baseline", "tf-optimized", "tf-prisma"])
+def test_fig2_lenet(benchmark, setup, batch):
+    seconds = benchmark.pedantic(
+        cell, args=(setup, "lenet", batch), rounds=1, iterations=1
+    )
+    benchmark.extra_info["paper_equivalent_s"] = round(seconds)
+    ref = paper_reference("lenet", batch, setup)
+    if ref is not None:
+        benchmark.extra_info["paper_s"] = ref
+        # Calibration contract: within 20 % of every quoted LeNet number.
+        assert seconds == pytest.approx(ref, rel=0.20)
+
+
+@pytest.mark.parametrize("setup", ["tf-baseline", "tf-optimized", "tf-prisma"])
+def test_fig2_alexnet(benchmark, setup):
+    seconds = benchmark.pedantic(
+        cell, args=(setup, "alexnet", 256), rounds=1, iterations=1
+    )
+    benchmark.extra_info["paper_equivalent_s"] = round(seconds)
+
+
+@pytest.mark.parametrize("setup", ["tf-baseline", "tf-prisma"])
+def test_fig2_resnet50(benchmark, setup):
+    seconds = benchmark.pedantic(
+        cell, args=(setup, "resnet50", 256), rounds=1, iterations=1
+    )
+    benchmark.extra_info["paper_equivalent_s"] = round(seconds)
+
+
+def test_fig2_shape_lenet_reductions(benchmark):
+    def shape():
+        base = cell("tf-baseline", "lenet", 256)
+        return {
+            "prisma_cut": reduction_percent(base, cell("tf-prisma", "lenet", 256)),
+            "tfopt_cut": reduction_percent(base, cell("tf-optimized", "lenet", 256)),
+        }
+
+    cuts = benchmark.pedantic(shape, rounds=1, iterations=1)
+    benchmark.extra_info.update({k: round(v, 1) for k, v in cuts.items()})
+    # Paper: 54 % (PRISMA) and 67 % (TF-opt) at batch 256.
+    assert cuts["prisma_cut"] > 45.0
+    assert cuts["tfopt_cut"] > cuts["prisma_cut"]
+
+
+def test_fig2_shape_alexnet_reduction(benchmark):
+    def shape():
+        base = cell("tf-baseline", "alexnet", 256)
+        return reduction_percent(base, cell("tf-prisma", "alexnet", 256))
+
+    cut = benchmark.pedantic(shape, rounds=1, iterations=1)
+    benchmark.extra_info["prisma_cut"] = round(cut, 1)
+    # Paper: ~20 % for AlexNet.
+    assert 10.0 < cut < 35.0
+
+
+def test_fig2_shape_resnet_unaffected(benchmark):
+    def shape():
+        base = cell("tf-baseline", "resnet50", 256)
+        return cell("tf-prisma", "resnet50", 256) / base
+
+    ratio = benchmark.pedantic(shape, rounds=1, iterations=1)
+    benchmark.extra_info["prisma_over_baseline"] = round(ratio, 3)
+    # Paper: "no impact on training time".
+    assert 0.93 < ratio < 1.07

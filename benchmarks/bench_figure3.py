@@ -1,0 +1,67 @@
+"""FIG3 — regenerate Figure 3: concurrent-reader-thread CDFs.
+
+Paper: for TF-optimized and PRISMA, the CDF of the percentage of time each
+number of threads was actively reading from storage.  Headline claims:
+PRISMA uses at most ~4 threads (~3 for ResNet-50); TF-optimized allocates
+its full 30-thread budget, "2-7x more threads".
+"""
+
+import pytest
+
+from repro.experiments import ExperimentScale, run_tf_trial
+from repro.frameworks.models import get_model
+from repro.metrics import cdf_from_histogram, thread_usage_ratio
+
+SCALE = ExperimentScale(scale=100, epochs=2)
+
+_trials = {}
+
+
+def trial(setup: str, model_name: str):
+    key = (setup, model_name)
+    if key not in _trials:
+        _trials[key] = run_tf_trial(setup, get_model(model_name), 256, SCALE)
+    return _trials[key]
+
+
+def activity_cdf(setup: str, model_name: str):
+    t = trial(setup, model_name)
+    histogram = t.producer_activity if setup == "tf-prisma" else t.reader_activity
+    return cdf_from_histogram(histogram, drop_zero=True)
+
+
+@pytest.mark.parametrize("model", ["lenet", "alexnet", "resnet50"])
+def test_fig3_prisma_thread_ceiling(benchmark, model):
+    cdf = benchmark.pedantic(activity_cdf, args=("tf-prisma", model), rounds=1, iterations=1)
+    benchmark.extra_info["max_threads"] = int(cdf.maximum)
+    benchmark.extra_info["median_threads"] = cdf.quantile(0.5)
+    benchmark.extra_info["cdf"] = {int(v): round(c, 3) for v, c in cdf.points()}
+    # Paper: at most 4 (3 for ResNet-50); allow +2 for warm-up transients.
+    assert cdf.maximum <= 6
+    # Time is concentrated at small thread counts.
+    assert cdf.quantile(0.5) <= 4
+
+
+@pytest.mark.parametrize("model", ["lenet", "resnet50"])
+def test_fig3_tf_optimized_spreads_wide(benchmark, model):
+    cdf = benchmark.pedantic(
+        activity_cdf, args=("tf-optimized", model), rounds=1, iterations=1
+    )
+    benchmark.extra_info["max_threads"] = int(cdf.maximum)
+    benchmark.extra_info["median_threads"] = cdf.quantile(0.5)
+    # Paper: TF allocates 30 threads; active counts range far above PRISMA's.
+    assert cdf.maximum > 8
+
+
+def test_fig3_thread_ratio_lenet(benchmark):
+    def ratio():
+        return thread_usage_ratio(
+            activity_cdf("tf-optimized", "lenet"),
+            activity_cdf("tf-prisma", "lenet"),
+        )
+
+    ratios = benchmark.pedantic(ratio, rounds=1, iterations=1)
+    benchmark.extra_info["ratios"] = {f"p{int(q*100)}": round(r, 2) for q, r in ratios.items()}
+    # Paper: "TF optimized uses 2-7x more threads for training".
+    assert max(ratios.values()) >= 2.0
+    assert min(ratios.values()) >= 1.0

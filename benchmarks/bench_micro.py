@@ -1,0 +1,147 @@
+"""Micro-benchmarks: the substrate's own performance.
+
+Unlike the figure benches (one simulated run, wall time irrelevant) these
+measure the *implementation*: kernel event throughput, resource hand-off
+cost, fluid-channel updates, buffer operations, shuffle generation.  They
+guard against performance regressions that would make the figure benches
+impractically slow.
+"""
+
+import numpy as np
+
+from repro.core import PrefetchBuffer
+from repro.dataset import EpochShuffler, lognormal_sizes
+from repro.simcore import RandomStreams, Simulator, Store
+from repro.storage import BlockDevice, FairShareChannel, constant_capacity, intel_p4600
+
+
+def test_kernel_timeout_throughput(benchmark):
+    """Schedule+process 50k timeout events."""
+
+    def run():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(50_000):
+                yield sim.timeout(1.0)
+
+        sim.process(ticker())
+        sim.run()
+        return sim.now
+
+    result = benchmark(run)
+    assert result == 50_000.0
+
+
+def test_store_producer_consumer_throughput(benchmark):
+    """20k items through a bounded store (two processes)."""
+
+    def run():
+        sim = Simulator()
+        store = Store(sim, capacity=16)
+
+        def producer():
+            for i in range(20_000):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(20_000):
+                yield store.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        return store.peak_items
+
+    peak = benchmark(run)
+    assert peak <= 16
+
+
+def test_fluid_channel_update_cost(benchmark):
+    """5k transfers through a shared channel with churning concurrency."""
+
+    def run():
+        sim = Simulator()
+        ch = FairShareChannel(sim, constant_capacity(1e6))
+
+        def client(offset):
+            yield sim.timeout(offset * 1e-4)
+            for _ in range(500):
+                yield ch.transfer(1000.0)
+
+        for c in range(10):
+            sim.process(client(c))
+        sim.run()
+        return ch.transfers_completed
+
+    completed = benchmark(run)
+    assert completed == 5000
+
+
+def test_device_read_path_cost(benchmark):
+    """2k full-stack device reads (latency + fluid transfer)."""
+
+    def run():
+        sim = Simulator()
+        dev = BlockDevice(sim, intel_p4600())
+
+        def reader():
+            for _ in range(500):
+                yield dev.read(113 * 1024)
+
+        for _ in range(4):
+            sim.process(reader())
+        sim.run()
+        return dev.counters.get("reads")
+
+    reads = benchmark(run)
+    assert reads == 2000
+
+
+def test_prefetch_buffer_request_path(benchmark):
+    """10k insert+request cycles through the keyed buffer."""
+
+    def run():
+        sim = Simulator()
+        buf = PrefetchBuffer(sim, capacity=64)
+
+        def producer():
+            for i in range(10_000):
+                yield buf.insert(f"/f{i}", i)
+
+        def consumer():
+            for i in range(10_000):
+                _, ev = buf.request(f"/f{i}")
+                yield ev
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        return buf.counters.get("hits") + buf.counters.get("waits")
+
+    total = benchmark(run)
+    assert total == 10_000
+
+
+def test_epoch_shuffle_generation(benchmark):
+    """Generating a 100k-sample epoch permutation."""
+    shuffler = EpochShuffler(100_000, RandomStreams(0))
+    counter = {"epoch": 0}
+
+    def run():
+        counter["epoch"] += 1
+        return shuffler.order(counter["epoch"])
+
+    order = benchmark(run)
+    assert len(order) == 100_000
+
+
+def test_synthetic_size_generation(benchmark):
+    """Drawing 100k exact-total log-normal file sizes."""
+
+    def run():
+        rng = np.random.default_rng(0)
+        return lognormal_sizes(rng, 100_000, 11_000_000_000)
+
+    sizes = benchmark(run)
+    assert int(sizes.sum()) == 11_000_000_000

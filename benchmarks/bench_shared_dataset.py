@@ -1,0 +1,93 @@
+"""EXT-SHARED — access coordination to shared datasets (paper §VII).
+
+K jobs train on the *same* dataset over one device.  Three deployments:
+
+* independent PRISMA stages — each job prefetches privately, so the device
+  serves every file K times per epoch;
+* one :class:`SharedDatasetPrefetcher` — coordinated shuffle, read-once /
+  serve-K, the CoorDL-style coordination §VII calls for;
+* (implicit baseline: K×reads is also what vanilla pipelines cost.)
+
+Asserted: the shared plane cuts device traffic exactly K×, and finishes
+the contended epoch faster.
+"""
+
+import pytest
+
+from repro.core import ParallelPrefetcher, SharedDatasetPrefetcher
+from repro.dataset import EpochShuffler, imagenet_like
+from repro.simcore import RandomStreams, Simulator
+from repro.storage import BlockDevice, Filesystem, PosixLayer, intel_p4600
+
+K = 3
+SCALE = 800  # ~1.6k files
+
+_cache = {}
+
+
+def run(mode: str):
+    if mode in _cache:
+        return _cache[mode]
+    streams = RandomStreams(0)
+    sim = Simulator()
+    dev = BlockDevice(sim, intel_p4600())
+    fs = Filesystem(sim, dev)
+    split = imagenet_like(streams, scale=SCALE)
+    split.train.materialize(fs)
+    posix = PosixLayer(sim, fs)
+    order = EpochShuffler(len(split.train), streams.spawn("sh")).order(0)
+    paths = [split.train.path(int(i)) for i in order]
+
+    def consumer(pf, think=5e-5):
+        for path in paths:
+            yield pf.serve(path)
+            yield sim.timeout(think)  # preprocess/compute between samples
+
+    if mode == "shared":
+        pf = SharedDatasetPrefetcher(
+            sim, posix, consumers=K, producers=4, buffer_capacity=512
+        )
+        pf.on_epoch(paths)
+        done = sim.all_of([sim.process(consumer(pf)) for _ in range(K)])
+    else:  # independent stages
+        pfs = []
+        for _ in range(K):
+            pf = ParallelPrefetcher(sim, posix, producers=4, buffer_capacity=512)
+            pf.on_epoch(paths)
+            pfs.append(pf)
+        done = sim.all_of([sim.process(consumer(pf)) for pf in pfs])
+    sim.run(until=done)
+    result = {
+        "seconds": sim.now,
+        "device_reads": dev.counters.get("reads"),
+        "device_bytes": dev.counters.get("read_bytes"),
+    }
+    _cache[mode] = result
+    return result
+
+
+@pytest.mark.parametrize("mode", ["independent", "shared"])
+def test_shared_dataset_mode(benchmark, mode):
+    result = benchmark.pedantic(run, args=(mode,), rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {k: round(v, 4) if isinstance(v, float) else v for k, v in result.items()}
+    )
+    assert result["seconds"] > 0
+
+
+def test_shared_cuts_device_traffic_k_times(benchmark):
+    def ratio():
+        return run("independent")["device_reads"] / run("shared")["device_reads"]
+
+    r = benchmark.pedantic(ratio, rounds=1, iterations=1)
+    benchmark.extra_info["traffic_ratio"] = round(r, 2)
+    assert r == pytest.approx(K, rel=0.01)
+
+
+def test_shared_finishes_contended_epoch_faster(benchmark):
+    def speedup():
+        return run("independent")["seconds"] / run("shared")["seconds"]
+
+    s = benchmark.pedantic(speedup, rounds=1, iterations=1)
+    benchmark.extra_info["speedup"] = round(s, 2)
+    assert s > 1.2

@@ -1,0 +1,113 @@
+"""TRACE — record/characterize/replay workflow as asserted benchmarks.
+
+Records the backend traffic of a PRISMA-accelerated epoch, then replays it
+against the device sweep.  Assertions pin the relationships the storage
+model must preserve: the framework-side view is faster than the backend
+view, replays order devices correctly, and open-loop replay at compressed
+time reveals queueing on the slow device.
+"""
+
+import pytest
+
+from repro.core import build_prisma
+from repro.dataset import imagenet_like
+from repro.simcore import RandomStreams, Simulator
+from repro.storage import (
+    BlockDevice,
+    Filesystem,
+    PosixLayer,
+    intel_p4600,
+    nvme_gen4,
+    sata_hdd,
+)
+from repro.traces import TraceReplayer, TracingPosix
+
+SCALE = 800
+
+_cache = {}
+
+
+def recorded():
+    if "traces" in _cache:
+        return _cache["traces"]
+    streams = RandomStreams(0)
+    sim = Simulator()
+    fs = Filesystem(sim, BlockDevice(sim, intel_p4600()))
+    split = imagenet_like(streams, scale=SCALE)
+    split.train.materialize(fs)
+    posix = PosixLayer(sim, fs)
+    below = TracingPosix(sim, posix)
+    stage, pf, ctl = build_prisma(sim, below, control_period=1.0 / SCALE)
+    above = TracingPosix(sim, stage)
+    paths = split.train.filenames()
+    stage.load_epoch(paths)
+
+    def consumer():
+        for path in paths:
+            yield above.read_whole(path)
+
+    p = sim.process(consumer())
+    sim.run(until=p)
+    ctl.stop()
+    above.trace.finalize()
+    below.trace.finalize()
+    _cache["traces"] = (above.trace, below.trace)
+    return _cache["traces"]
+
+
+def replay_on(profile, **kwargs):
+    _, below = recorded()
+    sim = Simulator()
+    fs = Filesystem(sim, BlockDevice(sim, profile))
+    split = imagenet_like(RandomStreams(0), scale=SCALE)
+    split.train.materialize(fs)
+    return TraceReplayer(sim, PosixLayer(sim, fs)).replay(below, **kwargs)
+
+
+def test_trace_record_views(benchmark):
+    above, below = benchmark.pedantic(recorded, rounds=1, iterations=1)
+    benchmark.extra_info["framework_mean_us"] = round(above.mean_latency() * 1e6)
+    benchmark.extra_info["backend_mean_us"] = round(below.mean_latency() * 1e6)
+    assert len(above) == len(below)
+    assert above.total_bytes() == below.total_bytes()
+    # The buffer turns device latency into memory-copy latency.
+    assert above.mean_latency() < below.mean_latency() / 2
+
+
+@pytest.mark.parametrize(
+    "label,profile",
+    [("sata-hdd", sata_hdd()), ("intel-p4600", intel_p4600()), ("nvme-gen4", nvme_gen4())],
+)
+def test_trace_replay_device(benchmark, label, profile):
+    result = benchmark.pedantic(
+        replay_on, args=(profile,), kwargs=dict(timed=False, concurrency=4),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["throughput_MiBps"] = round(result.throughput() / 2**20, 1)
+    benchmark.extra_info["p99_ms"] = round(result.p99_latency * 1e3, 2)
+    assert result.errors == 0
+
+
+def test_trace_replay_orders_devices(benchmark):
+    def ordering():
+        hdd = replay_on(sata_hdd(), timed=False, concurrency=4).duration
+        ssd = replay_on(intel_p4600(), timed=False, concurrency=4).duration
+        nvme = replay_on(nvme_gen4(), timed=False, concurrency=4).duration
+        return hdd, ssd, nvme
+
+    hdd, ssd, nvme = benchmark.pedantic(ordering, rounds=1, iterations=1)
+    assert hdd > ssd > nvme
+
+
+def test_trace_open_loop_queueing_on_slow_device(benchmark):
+    def latencies():
+        ssd = replay_on(intel_p4600(), timed=True).mean_latency
+        hdd = replay_on(sata_hdd(), timed=True).mean_latency
+        return ssd, hdd
+
+    ssd, hdd = benchmark.pedantic(latencies, rounds=1, iterations=1)
+    benchmark.extra_info["ssd_mean_us"] = round(ssd * 1e6)
+    benchmark.extra_info["hdd_mean_us"] = round(hdd * 1e6)
+    # The HDD cannot keep up with the recorded arrival process: queueing
+    # inflates latency far beyond its raw service time.
+    assert hdd > ssd * 10

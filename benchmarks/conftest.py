@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark suite.
+
+Every paper artifact (figure/table) has a ``bench_*`` module here.  The
+heavy simulations run exactly once per benchmark (``pedantic`` with one
+round) — the interesting output is the *simulated* result recorded into
+``benchmark.extra_info``, not wall-time statistics.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

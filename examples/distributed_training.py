@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Multi-node data-parallel training over a shared PFS (paper §VII).
+
+Runs a strong-scaling sweep (fixed global batch) of a LeNet job on a
+Lustre-like shared filesystem, with and without per-node PRISMA stages
+under one logically centralized controller.  Shows the two §VII effects:
+
+* per-node prefetching multiplies delivered storage bandwidth, and
+* it smooths the per-step storage jitter that synchronous SGD otherwise
+  amplifies at every all-reduce barrier.
+
+Run:  python examples/distributed_training.py
+"""
+
+from repro.dataset import imagenet_like
+from repro.distributed import DistributedTrainingJob, allreduce_cost
+from repro.frameworks import LENET
+from repro.simcore import RandomStreams, Simulator
+from repro.storage import DistributedFilesystem, PosixLayer, intel_p4600
+
+SCALE = 400
+GLOBAL_BATCH = 32
+
+
+def run(n_nodes: int, use_prisma: bool):
+    streams = RandomStreams(0)
+    sim = Simulator()
+    pfs = DistributedFilesystem(
+        sim, n_targets=4, target_profile=intel_p4600(), rpc_latency=300e-6
+    )
+    split = imagenet_like(streams, scale=SCALE)
+    split.train.materialize(pfs)
+    posix = PosixLayer(sim, pfs)
+    job = DistributedTrainingJob(
+        sim, posix, split.train, LENET,
+        n_nodes=n_nodes, global_batch=GLOBAL_BATCH, epochs=1,
+        streams=streams.spawn("job"), use_prisma=use_prisma,
+        control_period=1.0 / SCALE,
+    )
+    return job.run()
+
+
+def main() -> None:
+    print(
+        f"LeNet, global batch {GLOBAL_BATCH}, ImageNet/{SCALE} on a 4-OST "
+        f"shared PFS\nall-reduce cost at 4 nodes: "
+        f"{allreduce_cost(LENET, 4) * 1e6:.0f} µs/step\n"
+    )
+    print(f"{'nodes':>6}  {'baseline':>10}  {'PRISMA':>10}  "
+          f"{'speedup':>8}  {'barrier wait (base → prisma)'}")
+    baselines = {}
+    for nodes in (1, 2, 4):
+        base = run(nodes, use_prisma=False)
+        prisma = run(nodes, use_prisma=True)
+        baselines[nodes] = base
+        print(
+            f"{nodes:>6}  {base.total_time:>9.3f}s  {prisma.total_time:>9.3f}s  "
+            f"{base.total_time / prisma.total_time:>7.2f}x  "
+            f"{base.mean_barrier_wait * 1e3:>6.2f} ms → "
+            f"{prisma.mean_barrier_wait * 1e3:.2f} ms"
+        )
+    print(
+        "\nEvery baseline node adds one synchronous reader; every PRISMA node"
+        "\nbrings an auto-tuned producer pool — and steadier step times mean"
+        "\nless time burned at the all-reduce barrier."
+    )
+
+
+if __name__ == "__main__":
+    main()

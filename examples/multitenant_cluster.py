@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""System-wide visibility: many jobs, one storage backend (paper §II/§VII).
+
+Launches several training jobs against a *shared* filesystem three ways:
+
+* ``vanilla``      — framework pipelines, no PRISMA;
+* ``independent``  — one PRISMA stage per job, each auto-tuning blindly;
+* ``coordinated``  — one logically centralized controller enforcing a
+  cluster-wide fair-share producer budget (what only an SDS control plane
+  with global visibility can do).
+
+Run:  python examples/multitenant_cluster.py
+"""
+
+from repro.dataset import tiny_dataset
+from repro.frameworks import ALEXNET, LENET, TrainingConfig
+from repro.metrics import jain_fairness
+from repro.multitenant import FairShareGlobalPolicy, SharedStorageCluster
+from repro.simcore import RandomStreams, Simulator
+from repro.storage import BlockDevice, Filesystem, PosixLayer, intel_p4600
+
+N_JOBS = 3
+FILES_PER_JOB = 96
+
+
+def build_cluster(coordination: str):
+    streams = RandomStreams(0)
+    sim = Simulator()
+    # One shared SSD makes contention matter (think: busy Lustre OST).
+    fs = Filesystem(sim, BlockDevice(sim, intel_p4600()))
+    posix = PosixLayer(sim, fs)
+
+    global_policy = None
+    if coordination == "global":
+        global_policy = FairShareGlobalPolicy(total_producer_budget=8, per_job_cap=4)
+
+    cluster = SharedStorageCluster(
+        sim, posix, control_period=1e-3,
+        coordination=coordination, global_policy=global_policy,
+    )
+    for j in range(N_JOBS):
+        split = tiny_dataset(
+            streams.spawn(f"data{j}"), n_train=FILES_PER_JOB, n_val=16,
+            mean_size=256 * 1024,  # chunky samples keep the jobs I/O-bound
+        )
+        split.train.prefix = f"/job{j}/train"
+        split.validation.prefix = f"/job{j}/val"
+        split.materialize(fs)
+        model = LENET if j % 2 == 0 else ALEXNET
+        cluster.add_job(
+            split.train, split.validation, model,
+            TrainingConfig(epochs=1, global_batch=16),
+            streams.spawn(f"job{j}"),
+        )
+    return cluster
+
+
+def main() -> None:
+    print(f"{N_JOBS} jobs sharing one storage backend\n")
+    header = f"{'mode':>12}  {'makespan':>9}  {'mean job':>9}  {'fairness':>8}"
+    print(header)
+    for mode, label in (
+        ("none", "vanilla"),
+        ("independent", "independent"),
+        ("global", "coordinated"),
+    ):
+        cluster = build_cluster(mode)
+        result = cluster.run()
+        times = result.job_times()
+        # Fairness over *achieved service rates* (1/t), Jain's index.
+        fairness = jain_fairness([1.0 / t for t in times])
+        print(
+            f"{label:>12}  {result.makespan:>9.3f}  "
+            f"{result.mean_job_time():>9.3f}  {fairness:>8.3f}"
+        )
+    print(
+        "\nPRISMA stages accelerate every tenant; the coordinated controller"
+        "\nadditionally bounds each job's producer threads to a fair share of"
+        "\nthe device's useful concurrency, keeping tenants predictable."
+    )
+
+
+if __name__ == "__main__":
+    main()

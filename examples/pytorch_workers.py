@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""The paper's PyTorch story (Figure 4) in miniature.
+
+Sweeps DataLoader worker counts for a native deployment and compares
+against PRISMA via the UNIX-domain-socket client/server integration.  The
+two headline observations reproduce:
+
+1. PRISMA beats under-provisioned native configurations (0–4 workers) and
+   loses only modestly to heavily provisioned ones (8+);
+2. PRISMA's time is nearly constant at *every* worker count — users no
+   longer have to search for the magic ``num_workers``.
+
+Run:  python examples/pytorch_workers.py        (~1-2 minutes)
+"""
+
+from repro.core import build_prisma
+from repro.core.integrations import PrismaUDSServer, make_torch_posix_factory
+from repro.dataset import EpochShuffler, imagenet_like
+from repro.frameworks import GpuEnsemble, LENET, Trainer, TrainingConfig
+from repro.frameworks.pytorch import TorchDataLoader
+from repro.simcore import RandomStreams, Simulator
+from repro.storage import BlockDevice, Filesystem, PosixLayer, intel_p4600
+
+SCALE = 100     # 12.8k train files; >=50 batches at batch 256
+EPOCHS = 1
+BATCH = 256
+WORKER_COUNTS = (0, 2, 4, 8)
+
+
+def build_env():
+    streams = RandomStreams(0)
+    sim = Simulator()
+    fs = Filesystem(sim, BlockDevice(sim, intel_p4600()))
+    split = imagenet_like(streams, scale=SCALE)
+    split.materialize(fs)
+    posix = PosixLayer(sim, fs)
+    shuffles = (
+        EpochShuffler(len(split.train), streams.spawn("train")),
+        EpochShuffler(len(split.validation), streams.spawn("val")),
+    )
+    return sim, posix, split, shuffles
+
+
+def train(sim, split, train_src, val_src) -> float:
+    trainer = Trainer(
+        sim, LENET, GpuEnsemble(sim), train_src,
+        TrainingConfig(epochs=EPOCHS, global_batch=BATCH), val_src,
+    )
+    return trainer.run_to_completion().total_time * SCALE * 10 / EPOCHS
+
+
+def run_native(workers: int) -> float:
+    sim, posix, split, (tr_sh, va_sh) = build_env()
+    factory = lambda worker_id: posix  # every worker reads storage directly
+    train_src = TorchDataLoader(
+        sim, split.train, tr_sh, BATCH, factory, LENET, num_workers=workers
+    )
+    val_src = TorchDataLoader(
+        sim, split.validation, va_sh, BATCH, factory, LENET,
+        num_workers=workers, name="val",
+    )
+    return train(sim, split, train_src, val_src)
+
+
+def run_prisma(workers: int) -> float:
+    sim, posix, split, (tr_sh, va_sh) = build_env()
+    stage, prefetcher, controller = build_prisma(
+        sim, posix, control_period=1.0 / SCALE
+    )
+    # The paper's 35-LoC integration: a UDS server in the PRISMA process,
+    # one client instance per spawned DataLoader worker.
+    server = PrismaUDSServer(sim, stage)
+
+    def size_of(path: str) -> int:
+        index = int(path.rsplit("/", 1)[1])
+        catalog = split.train if path.startswith(split.train.prefix) else split.validation
+        return catalog.size(index)
+
+    factory = make_torch_posix_factory(sim, server, size_of)
+
+    class SharedEpochLoader(TorchDataLoader):
+        """Shares each epoch's shuffled filename list with the data plane."""
+
+        def begin_epoch(self, epoch: int) -> None:
+            super().begin_epoch(epoch)
+            order = self.shuffler.order(epoch)
+            stage.load_epoch(self.catalog.path(int(i)) for i in order)
+
+    train_src = SharedEpochLoader(
+        sim, split.train, tr_sh, BATCH, factory, LENET, num_workers=workers
+    )
+    val_src = TorchDataLoader(
+        sim, split.validation, va_sh, BATCH, factory, LENET,
+        num_workers=workers, name="val",
+    )
+    seconds = train(sim, split, train_src, val_src)
+    controller.stop()
+    return seconds
+
+
+def main() -> None:
+    print(f"LeNet, batch {BATCH}, ImageNet/{SCALE}, paper-equivalent seconds\n")
+    print(f"{'workers':>8}  {'native PyTorch':>15}  {'PRISMA':>10}  {'winner'}")
+    for workers in WORKER_COUNTS:
+        native = run_native(workers)
+        prisma = run_prisma(workers)
+        winner = "PRISMA" if prisma < native else "native"
+        print(f"{workers:>8}  {native:>15.0f}  {prisma:>10.0f}  {winner}")
+    print(
+        "\nPRISMA stays flat across worker counts (its auto-tuner provisions"
+        "\nI/O independently of the framework's worker configuration)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The environment ships setuptools without the `wheel` package, so PEP 660
+editable installs are unavailable; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,214 @@
+"""Command-line interface: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro figure2 [--quick] [--models lenet alexnet] [--batches 64 256]
+    python -m repro figure3 [--quick]
+    python -m repro figure4 [--quick] [--workers 0 2 4 8 16]
+    python -m repro ablation {autotune,device,period}
+    python -m repro demo
+
+(or the installed ``prisma-repro`` script).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+
+def _progress(trial) -> None:
+    workers = f" w={trial.num_workers}" if trial.num_workers is not None else ""
+    print(
+        f"  ran {trial.model}/{trial.setup} bs={trial.batch_size}{workers}: "
+        f"{trial.paper_equivalent_seconds:.0f}s (paper-equivalent)",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+def _cmd_figure2(args) -> int:
+    from .experiments import figure2_scale, run_figure2
+    from .experiments.figure2 import DEFAULT_MODELS
+    from .experiments.report import figure2_chart, format_figure2
+    from .frameworks.models import get_model
+
+    models = (
+        tuple(get_model(m) for m in args.models) if args.models else DEFAULT_MODELS
+    )
+    batches = tuple(args.batches) if args.batches else (64, 128, 256)
+    scale = figure2_scale(quick=args.quick)
+    result = run_figure2(
+        scale=scale,
+        models=models,
+        batch_sizes=batches,
+        progress=_progress if args.verbose else None,
+    )
+    if args.json:
+        from .experiments.export import dump_json, figure2_to_dict
+
+        dump_json(figure2_to_dict(result, scale), args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    print(format_figure2(result))
+    chart_batch = batches[-1]
+    try:
+        print()
+        print(figure2_chart(result, batch_size=chart_batch))
+    except KeyError:
+        pass  # partial grids may not contain the chart batch
+    return 0
+
+
+def _cmd_figure3(args) -> int:
+    from .experiments import figure2_scale, run_figure3
+    from .experiments.report import figure3_chart, format_figure3
+
+    scale = figure2_scale(quick=args.quick)
+    result = run_figure3(
+        scale=scale,
+        progress=_progress if args.verbose else None,
+    )
+    if args.json:
+        from .experiments.export import dump_json, figure3_to_dict
+
+        dump_json(figure3_to_dict(result, scale), args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    print(format_figure3(result))
+    print()
+    print(figure3_chart(result))
+    return 0
+
+
+def _cmd_figure4(args) -> int:
+    from .experiments import figure4_scale, run_figure4
+    from .experiments.report import figure4_chart, format_figure4
+
+    workers = tuple(args.workers) if args.workers else (0, 2, 4, 8, 16)
+    scale = figure4_scale(quick=args.quick)
+    result = run_figure4(
+        scale=scale,
+        worker_counts=workers,
+        progress=_progress if args.verbose else None,
+    )
+    if args.json:
+        from .experiments.export import dump_json, figure4_to_dict
+
+        dump_json(figure4_to_dict(result, scale), args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    print(format_figure4(result))
+    print()
+    print(figure4_chart(result))
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    from .experiments.ablation import (
+        autotune_point,
+        best_static,
+        control_period_sensitivity,
+        device_sensitivity,
+        static_grid,
+    )
+    from .experiments.report import format_ablation
+
+    if args.which == "autotune":
+        auto = autotune_point()
+        grid = static_grid()
+        print(format_ablation("Auto-tune vs static grid", [auto] + grid, baseline=best_static(grid)))
+    elif args.which == "device":
+        print(format_ablation("Device sensitivity", device_sensitivity()))
+    elif args.which == "period":
+        print(format_ablation("Control-period sensitivity", control_period_sensitivity()))
+    return 0
+
+
+def _cmd_distributed(args) -> int:
+    from .experiments.extensions import format_distributed_sweep, run_distributed_sweep
+
+    nodes = tuple(args.nodes) if args.nodes else (1, 2, 4)
+    rows = run_distributed_sweep(node_counts=nodes)
+    print(format_distributed_sweep(rows))
+    return 0
+
+
+def _cmd_multitenant(args) -> int:
+    from .experiments.extensions import format_multitenant, run_multitenant_comparison
+
+    rows = run_multitenant_comparison(n_jobs=args.jobs)
+    print(format_multitenant(rows))
+    return 0
+
+
+def _cmd_latency(_args) -> int:
+    from .experiments.extensions import format_latency, run_latency_comparison
+
+    print(format_latency(run_latency_comparison()))
+    return 0
+
+
+def _cmd_demo(_args) -> int:
+    from . import quick_demo
+
+    print(quick_demo())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="prisma-repro",
+        description="Reproduce the PRISMA (CLUSTER 2021) evaluation",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true", help="per-trial progress")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p2 = sub.add_parser("figure2", help="TF baseline/optimized/PRISMA training times")
+    p2.add_argument("--json", metavar="FILE", help="also write results as JSON")
+    p2.add_argument("--quick", action="store_true", help="coarser scale, 1 epoch")
+    p2.add_argument("--models", nargs="+", choices=["lenet", "alexnet", "resnet50"])
+    p2.add_argument("--batches", nargs="+", type=int)
+    p2.set_defaults(func=_cmd_figure2)
+
+    p3 = sub.add_parser("figure3", help="concurrent-reader-thread CDFs")
+    p3.add_argument("--json", metavar="FILE", help="also write results as JSON")
+    p3.add_argument("--quick", action="store_true")
+    p3.set_defaults(func=_cmd_figure3)
+
+    p4 = sub.add_parser("figure4", help="PyTorch worker sweep vs PRISMA")
+    p4.add_argument("--json", metavar="FILE", help="also write results as JSON")
+    p4.add_argument("--quick", action="store_true")
+    p4.add_argument("--workers", nargs="+", type=int)
+    p4.set_defaults(func=_cmd_figure4)
+
+    pa = sub.add_parser("ablation", help="design-choice ablations")
+    pa.add_argument("which", choices=["autotune", "device", "period"])
+    pa.set_defaults(func=_cmd_ablation)
+
+    pdist = sub.add_parser("distributed", help="multi-node training over a shared PFS")
+    pdist.add_argument("--nodes", nargs="+", type=int)
+    pdist.set_defaults(func=_cmd_distributed)
+
+    pmt = sub.add_parser("multitenant", help="N jobs on shared storage, 3 control modes")
+    pmt.add_argument("--jobs", type=int, default=3)
+    pmt.set_defaults(func=_cmd_multitenant)
+
+    plat = sub.add_parser("latency", help="per-read latency distribution, baseline vs PRISMA")
+    plat.set_defaults(func=_cmd_latency)
+
+    pd = sub.add_parser("demo", help="tiny PRISMA-vs-baseline smoke demo")
+    pd.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    start = time.time()
+    code = args.func(args)
+    if args.verbose:
+        print(f"[done in {time.time() - start:.1f}s wall]", file=sys.stderr)
+    return code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+"""``repro.core`` — PRISMA: the paper's primary contribution.
+
+The Software-Defined Storage middleware for DL training: the data plane
+(:class:`PrismaStage` hosting :class:`OptimizationObject` implementations,
+chiefly the :class:`ParallelPrefetcher`), the control plane
+(:mod:`repro.core.control`), and the TensorFlow / PyTorch integrations
+(:mod:`repro.core.integrations`).
+
+:func:`build_prisma` wires a complete SDS stack in one call.
+"""
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from .buffer import PrefetchBuffer
+from .control import (
+    AutotuneParams,
+    ControlChannel,
+    Controller,
+    ControlPolicy,
+    MetricsHistory,
+    PrismaAutotunePolicy,
+    StaticPolicy,
+)
+from .filename_queue import FilenameQueue
+from .optimization import MetricsSnapshot, OptimizationObject, TuningSettings
+from .prefetcher import ParallelPrefetcher
+from .shared import SharedDatasetPrefetcher
+from .stage import PrismaStage
+from .tiering import TieringObject
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.kernel import Simulator
+    from ..storage.posix import PosixLike
+
+__all__ = [
+    "AutotuneParams",
+    "ControlChannel",
+    "ControlPolicy",
+    "Controller",
+    "FilenameQueue",
+    "MetricsHistory",
+    "MetricsSnapshot",
+    "OptimizationObject",
+    "ParallelPrefetcher",
+    "PrefetchBuffer",
+    "PrismaAutotunePolicy",
+    "PrismaStage",
+    "SharedDatasetPrefetcher",
+    "StaticPolicy",
+    "TieringObject",
+    "TuningSettings",
+    "build_prisma",
+]
+
+
+def build_prisma(
+    sim: "Simulator",
+    backend: "PosixLike",
+    control_period: float,
+    policy: Optional[ControlPolicy] = None,
+    producers: int = 2,
+    buffer_capacity: int = 256,
+    max_producers: int = 8,
+    name: str = "prisma",
+) -> Tuple[PrismaStage, ParallelPrefetcher, Controller]:
+    """Assemble a complete PRISMA stack over ``backend``.
+
+    Returns ``(stage, prefetcher, controller)``; the controller is already
+    started.  ``control_period`` is in simulated seconds — experiments scale
+    it together with the dataset so the number of control decisions per
+    epoch matches an unscaled deployment.
+    """
+    prefetcher = ParallelPrefetcher(
+        sim,
+        backend,
+        producers=producers,
+        buffer_capacity=buffer_capacity,
+        max_producers=max_producers,
+        name=f"{name}.prefetch",
+    )
+    stage = PrismaStage(sim, backend, [prefetcher], name=f"{name}.stage")
+    controller = Controller(sim, period=control_period, name=f"{name}.controller")
+    controller.register(stage, policy or PrismaAutotunePolicy())
+    controller.start()
+    return stage, prefetcher, controller

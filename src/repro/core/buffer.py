@@ -1,0 +1,114 @@
+"""PRISMA's in-memory prefetch buffer.
+
+The buffer holds at most ``N`` training samples (paper §IV).  The caching
+policy is the paper's: *"a training file is stored in the buffer whenever it
+is read by a producer and is evicted when a consumer requests it"* —
+evict-on-read, exactly-once per epoch, which is optimal for a workload that
+reads every file once per epoch in a known order.
+
+Consumers request samples *by path*; requests for samples not yet produced
+block until the producer delivers them (out-of-order consumers — PyTorch's
+round-robin workers — are each unblocked individually).  Capacity is
+dynamic: the control plane retargets ``N`` at run time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+from ..simcore.event import Event
+from ..simcore.resources import FilterStore
+from ..simcore.tracing import CounterSet, TimeWeightedGauge
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.kernel import Simulator
+
+#: Memory-copy rate for buffer hits (bytes/s).
+MEMORY_BANDWIDTH = 6.0e9
+#: Fixed overhead of serving a sample out of the buffer (seconds).
+HIT_OVERHEAD = 5e-6
+
+
+class PrefetchBuffer:
+    """Bounded, path-keyed sample buffer with evict-on-read semantics."""
+
+    def __init__(self, sim: "Simulator", capacity: int, name: str = "prisma.buffer") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self._store: FilterStore = FilterStore(sim, capacity=capacity, name=name)
+        self.counters = CounterSet()
+        #: time-weighted occupancy, consumed by the control loop
+        self.occupancy = TimeWeightedGauge(sim, 0, name=f"{name}.occupancy")
+
+    # -- capacity --------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return int(self._store.capacity)
+
+    def set_capacity(self, capacity: int) -> None:
+        """Control-plane knob: retarget N (never evicts on shrink)."""
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._store.set_capacity(capacity)
+
+    @property
+    def level(self) -> int:
+        return self._store.level
+
+    def fill_fraction(self) -> float:
+        return self.level / self.capacity
+
+    # -- producer side ------------------------------------------------------------
+    def insert(self, path: str, nbytes: int) -> Event:
+        """Stage a produced sample; blocks (event-wise) while the buffer is full."""
+        self.counters.add("inserts")
+        done = Event(self.sim, name=f"{self.name}.insert")
+        inner = self._store.put((path, nbytes))
+
+        def settled(ev: Event) -> None:
+            if ev.ok:
+                self.occupancy.set(self.level)
+                done.succeed()
+            else:
+                done.fail(ev.exception)
+
+        inner.add_callback(settled)
+        return done
+
+    # -- consumer side ------------------------------------------------------------
+    def contains(self, path: str) -> bool:
+        return any(item[0] == path for item in self._store.items)
+
+    def request(self, path: str) -> Tuple[bool, Event]:
+        """Consume (and evict) the sample for ``path``.
+
+        Returns ``(hit, event)``: ``hit`` says whether the sample was already
+        buffered at request time (a *miss* means the consumer stalls until a
+        producer delivers it — the starvation signal the auto-tuner watches);
+        the event's value is the sample's byte count.
+        """
+        hit = self.contains(path)
+        self.counters.add("hits" if hit else "waits")
+        done = Event(self.sim, name=f"{self.name}.req")
+        inner = self._store.get(lambda item: item[0] == path)
+
+        def settled(ev: Event) -> None:
+            if ev.ok:
+                self.occupancy.set(self.level)
+                done.succeed(ev._value[1])
+            else:
+                done.fail(ev.exception)
+
+        inner.add_callback(settled)
+        return hit, done
+
+    # -- statistics --------------------------------------------------------------
+    def hit_rate(self) -> float:
+        hits = self.counters.get("hits")
+        total = hits + self.counters.get("waits")
+        return hits / total if total > 0 else 0.0
+
+    def __repr__(self) -> str:
+        return f"<PrefetchBuffer {self.name!r} {self.level}/{self.capacity}>"

@@ -1,0 +1,35 @@
+"""``repro.core.control`` — PRISMA's control plane.
+
+The logically centralized side of the SDS split: the periodic
+:class:`Controller` loop, tuning :class:`~.policy.ControlPolicy` objects
+(including the paper's feedback auto-tuner), per-stage
+:class:`~.monitor.MetricsHistory`, and the :class:`~.rpc.ControlChannel`
+linking planes.
+"""
+
+from .controller import Controller, GlobalPolicy
+from .replicated import ReplicatedController
+from .monitor import MetricsHistory
+from .policy import (
+    AutotuneParams,
+    ControlPolicy,
+    OscillationDampedPolicy,
+    PrismaAutotunePolicy,
+    StaticPolicy,
+)
+from .rpc import LOCAL_LATENCY, REMOTE_LATENCY, ControlChannel
+
+__all__ = [
+    "AutotuneParams",
+    "ControlChannel",
+    "ControlPolicy",
+    "Controller",
+    "GlobalPolicy",
+    "LOCAL_LATENCY",
+    "MetricsHistory",
+    "OscillationDampedPolicy",
+    "PrismaAutotunePolicy",
+    "REMOTE_LATENCY",
+    "ReplicatedController",
+    "StaticPolicy",
+]

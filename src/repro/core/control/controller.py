@@ -1,0 +1,149 @@
+"""The control plane: a logically centralized controller (paper §III-A).
+
+The controller periodically polls every registered data-plane stage over its
+control channel, feeds the snapshots to the stage's policy (or to a single
+*global* policy with visibility over all stages at once — the "system-wide
+visibility" the paper argues for), and pushes resulting knob changes back.
+
+Centralization is what makes holistic behaviour possible: a global policy
+can, e.g., divide a machine-wide producer-thread budget among competing
+training jobs, something no framework-intrinsic optimizer can do (paper §II
+"partial visibility").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ...simcore.errors import Interrupt
+from ..optimization import MetricsSnapshot, TuningSettings
+from .monitor import MetricsHistory
+from .policy import ControlPolicy
+from .rpc import ControlChannel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...simcore.kernel import Simulator
+    from ..stage import PrismaStage
+
+
+class GlobalPolicy(abc.ABC):
+    """A policy that decides over *all* stages jointly."""
+
+    @abc.abstractmethod
+    def decide_all(
+        self, histories: Dict[str, MetricsHistory]
+    ) -> Dict[str, TuningSettings]:
+        """Map stage name -> new settings (omit stages to leave unchanged)."""
+
+
+@dataclass
+class _Registration:
+    stage: "PrismaStage"
+    policy: Optional[ControlPolicy]
+    channel: ControlChannel
+    history: MetricsHistory = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.history = MetricsHistory(self.stage.name)
+
+
+class Controller:
+    """Periodic monitor/decide/enforce loop over registered stages."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        period: float,
+        global_policy: Optional[GlobalPolicy] = None,
+        name: str = "prisma.controller",
+    ) -> None:
+        if period <= 0:
+            raise ValueError("control period must be positive")
+        self.sim = sim
+        self.period = period
+        self.name = name
+        self.global_policy = global_policy
+        self._registrations: List[_Registration] = []
+        self._process = None
+        self.cycles = 0
+        self.enforcements = 0
+        #: simulated time of the last completed control cycle (heartbeat
+        #: for the dependability machinery in :mod:`.replicated`)
+        self.last_cycle_time: float = float("-inf")
+
+    # -- registration ------------------------------------------------------------
+    def register(
+        self,
+        stage: "PrismaStage",
+        policy: Optional[ControlPolicy] = None,
+        channel: Optional[ControlChannel] = None,
+    ) -> MetricsHistory:
+        """Attach a stage; returns its history for later inspection."""
+        if policy is None and self.global_policy is None:
+            raise ValueError("a per-stage policy or a global policy is required")
+        reg = _Registration(
+            stage=stage,
+            policy=policy,
+            channel=channel or ControlChannel(self.sim, name=f"{self.name}.ch"),
+        )
+        self._registrations.append(reg)
+        return reg.history
+
+    def history_for(self, stage_name: str) -> MetricsHistory:
+        for reg in self._registrations:
+            if reg.stage.name == stage_name:
+                return reg.history
+        raise KeyError(stage_name)
+
+    # -- control loop -------------------------------------------------------------
+    def start(self) -> None:
+        if self._process is not None:
+            raise RuntimeError("controller already started")
+        self._process = self.sim.process(self._loop(), name=self.name)
+
+    def stop(self) -> None:
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("controller stopped")
+        self._process = None
+
+    def _loop(self):
+        try:
+            while True:
+                yield self.sim.timeout(self.period)
+                yield from self._cycle()
+                self.cycles += 1
+                self.last_cycle_time = self.sim.now
+        except Interrupt:
+            return
+
+    def _cycle(self):
+        # Monitor: poll every stage (first optimization object's metrics
+        # represent the stage; multi-object stages aggregate upstream).
+        for reg in self._registrations:
+            snapshots: List[MetricsSnapshot] = yield reg.channel.call(
+                reg.stage.control_snapshot
+            )
+            if snapshots:
+                reg.history.append(snapshots[0])
+
+        # Decide + enforce.
+        if self.global_policy is not None:
+            histories = {reg.stage.name: reg.history for reg in self._registrations}
+            decisions = self.global_policy.decide_all(histories)
+            for reg in self._registrations:
+                settings = decisions.get(reg.stage.name)
+                if settings is not None:
+                    yield reg.channel.call(reg.stage.control_apply, settings)
+                    self.enforcements += 1
+            return
+
+        for reg in self._registrations:
+            assert reg.policy is not None
+            if reg.history.latest is None:
+                continue
+            decision = reg.policy.decide(reg.history.latest, reg.history.previous)
+            if decision is not None:
+                yield reg.channel.call(reg.stage.control_apply, decision)
+                self.enforcements += 1

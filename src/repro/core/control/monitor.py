@@ -1,0 +1,64 @@
+"""Monitoring bookkeeping for the control plane.
+
+Stores the time series of :class:`MetricsSnapshot` the controller collects
+from each stage, plus derived statistics the experiments report (starvation
+series, producer allocation over time).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..optimization import MetricsSnapshot
+
+
+class MetricsHistory:
+    """Append-only history of one stage's snapshots."""
+
+    def __init__(self, stage_name: str, max_entries: Optional[int] = None) -> None:
+        self.stage_name = stage_name
+        self.max_entries = max_entries
+        self._snapshots: List[MetricsSnapshot] = []
+
+    def append(self, snapshot: MetricsSnapshot) -> None:
+        self._snapshots.append(snapshot)
+        if self.max_entries is not None and len(self._snapshots) > self.max_entries:
+            del self._snapshots[0]
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    @property
+    def latest(self) -> Optional[MetricsSnapshot]:
+        return self._snapshots[-1] if self._snapshots else None
+
+    @property
+    def previous(self) -> Optional[MetricsSnapshot]:
+        return self._snapshots[-2] if len(self._snapshots) >= 2 else None
+
+    def snapshots(self) -> List[MetricsSnapshot]:
+        return list(self._snapshots)
+
+    # -- derived series ----------------------------------------------------------
+    def starvation_series(self) -> List[Tuple[float, float]]:
+        """(time, per-period starvation fraction) for every interval."""
+        out: List[Tuple[float, float]] = []
+        for prev, cur in zip(self._snapshots, self._snapshots[1:]):
+            out.append((cur.time, cur.starvation(prev)))
+        return out
+
+    def producer_series(self) -> List[Tuple[float, int]]:
+        return [(s.time, s.producers_allocated) for s in self._snapshots]
+
+    def buffer_series(self) -> List[Tuple[float, int, int]]:
+        return [(s.time, s.buffer_level, s.buffer_capacity) for s in self._snapshots]
+
+    def peak_producers(self) -> int:
+        return max((s.producers_allocated for s in self._snapshots), default=0)
+
+    def final_settings(self) -> Tuple[int, int]:
+        """(producers, buffer capacity) at the last observation."""
+        last = self.latest
+        if last is None:
+            return (0, 0)
+        return (last.producers_allocated, last.buffer_capacity)

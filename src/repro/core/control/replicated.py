@@ -1,0 +1,127 @@
+"""Control-plane dependability: primary/standby failover (paper §VII).
+
+The paper: *"While logically centralized, the control plane is physically
+distributed and made of multiple controllers to meet the scalability and
+availability (in case of controller failures) requirements of large scale
+infrastructures"* and lists "control plane scalability and dependability"
+as an open direction.
+
+:class:`ReplicatedController` realizes the availability half: a primary
+:class:`~.controller.Controller` drives the stages while a standby watches
+its heartbeat (the primary's ``last_cycle_time``).  If the primary misses
+``failover_multiplier`` control periods, the standby promotes itself and
+resumes the loop — the data plane keeps serving throughout (a controller
+outage never blocks reads; it only freezes tuning), so training continues
+and merely runs with stale knobs until failover completes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ...simcore.errors import Interrupt
+from .controller import Controller, GlobalPolicy
+from .policy import ControlPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...simcore.kernel import Simulator
+    from ..stage import PrismaStage
+
+
+class ReplicatedController:
+    """A primary controller plus a hot standby with heartbeat failover."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        period: float,
+        failover_multiplier: float = 3.0,
+        global_policy: Optional[GlobalPolicy] = None,
+        name: str = "prisma.ha-controller",
+    ) -> None:
+        if failover_multiplier <= 1.0:
+            raise ValueError("failover_multiplier must exceed 1 period")
+        self.sim = sim
+        self.period = period
+        self.failover_timeout = period * failover_multiplier
+        self.name = name
+        self.primary = Controller(sim, period, global_policy, name=f"{name}.primary")
+        self.standby = Controller(sim, period, global_policy, name=f"{name}.standby")
+        self._watchdog = None
+        self._failed_over = False
+        self.failover_time: Optional[float] = None
+
+    # -- registration (mirrored to both replicas) ---------------------------------
+    def register(
+        self,
+        stage: "PrismaStage",
+        policy: Optional[ControlPolicy] = None,
+        standby_policy: Optional[ControlPolicy] = None,
+    ) -> None:
+        """Attach a stage to both replicas.
+
+        Policies are stateful, so the standby needs its *own* instance
+        (``standby_policy``); passing the same object to both would let the
+        idle replica's state rot.  With per-stage policies both arguments
+        are required; with a global policy, neither.
+        """
+        if (policy is None) != (standby_policy is None):
+            raise ValueError("provide both policy and standby_policy, or neither")
+        self.primary.register(stage, policy)
+        self.standby.register(stage, standby_policy)
+
+    # -- lifecycle --------------------------------------------------------------
+    def start(self) -> None:
+        self.primary.start()
+        self._watchdog = self.sim.process(self._watch(), name=f"{self.name}.watchdog")
+
+    def stop(self) -> None:
+        for controller in (self.primary, self.standby):
+            try:
+                controller.stop()
+            except Exception:  # noqa: BLE001 - replica may never have started
+                pass
+        if self._watchdog is not None and self._watchdog.is_alive:
+            self._watchdog.interrupt("ha stopped")
+        self._watchdog = None
+
+    @property
+    def active(self) -> Controller:
+        """The replica currently in charge."""
+        return self.standby if self._failed_over else self.primary
+
+    @property
+    def failed_over(self) -> bool:
+        return self._failed_over
+
+    # -- failure injection ---------------------------------------------------------
+    def kill_primary(self) -> None:
+        """Crash the primary controller (for dependability experiments)."""
+        self.primary.stop()
+
+    def schedule_primary_failure(self, at: float) -> None:
+        """Arrange for the primary to crash at simulated time ``at``."""
+
+        def failer():
+            delay = at - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            self.kill_primary()
+
+        self.sim.process(failer(), name=f"{self.name}.failure-injector")
+
+    # -- watchdog --------------------------------------------------------------
+    def _watch(self):
+        try:
+            while True:
+                yield self.sim.timeout(self.period)
+                if self._failed_over:
+                    return
+                silent_for = self.sim.now - max(self.primary.last_cycle_time, 0.0)
+                if silent_for > self.failover_timeout:
+                    self._failed_over = True
+                    self.failover_time = self.sim.now
+                    self.standby.start()
+                    return
+        except Interrupt:
+            return

@@ -1,0 +1,57 @@
+"""Control channel between the control plane and data-plane stages.
+
+The control plane is *logically* centralized but physically separate from
+the stages (paper §III-A), so every monitoring poll and policy push crosses
+a channel with non-zero latency.  For stages co-located with the controller
+(the paper's prototype implements the control plane "as a logical component
+of our middleware") the latency is a function call's worth; for remote
+stages it is a network RTT.  Modelling it explicitly keeps the architecture
+honest: control decisions are always slightly stale, exactly as in a real
+SDS deployment.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from ...simcore.event import Event
+from ...simcore.tracing import CounterSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...simcore.kernel import Simulator
+
+#: In-process call: effectively free (prototype deployment, paper §IV).
+LOCAL_LATENCY = 2e-6
+#: Same-datacenter TCP round trip half (distributed deployment, §III).
+REMOTE_LATENCY = 150e-6
+
+
+class ControlChannel:
+    """Bidirectional request/response path with symmetric one-way latency."""
+
+    def __init__(self, sim: "Simulator", latency: float = LOCAL_LATENCY, name: str = "ctl") -> None:
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.sim = sim
+        self.latency = latency
+        self.name = name
+        self.counters = CounterSet()
+
+    def call(self, fn: Callable[..., Any], *args: Any) -> Event:
+        """Invoke ``fn(*args)`` on the far side; event value = its result."""
+        self.counters.add("calls")
+        done = Event(self.sim, name=f"{self.name}.call")
+
+        def round_trip():
+            if self.latency > 0:
+                yield self.sim.timeout(self.latency)
+            result = fn(*args)
+            if self.latency > 0:
+                yield self.sim.timeout(self.latency)
+            return result
+
+        proc = self.sim.process(round_trip(), name=f"{self.name}.rpc")
+        proc.add_callback(
+            lambda p: done.succeed(p._value) if p.ok else done.fail(p.exception)
+        )
+        return done

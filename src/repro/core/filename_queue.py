@@ -1,0 +1,73 @@
+"""The FIFO filename queue feeding PRISMA's producers.
+
+Paper §IV: *"The order in which files are read is given by an internal FIFO
+queue that stores the filenames of dataset samples.  A filenames list,
+populated by the DL framework at the beginning of the training phase, is
+shared with PRISMA so it knows in advance which files will be requested."*
+
+The queue is a plain synchronous deque (producers poll it between reads; it
+is never a blocking rendezvous point), plus the bookkeeping the stage needs:
+which paths are covered by prefetching in the current epoch, and how much
+work remains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Set
+
+
+class FilenameQueue:
+    """FIFO of paths to prefetch, reloaded once per epoch."""
+
+    def __init__(self, name: str = "prisma.queue") -> None:
+        self.name = name
+        self._queue: Deque[str] = deque()
+        self._covered: Set[str] = set()
+        self.epochs_loaded = 0
+        self.total_enqueued = 0
+
+    def load(self, paths: Iterable[str]) -> None:
+        """Install a new epoch's shuffled filenames list.
+
+        Loading replaces the *coverage set* (which paths the stage may serve
+        from the buffer) while appending to the pending work — leftover
+        entries from a previous epoch would indicate a protocol violation,
+        so they are rejected loudly rather than silently merged.
+        """
+        if self._queue:
+            raise ValueError(
+                f"{self.name}: loading a new epoch with {len(self._queue)} "
+                "paths still pending (previous epoch not fully consumed)"
+            )
+        paths = list(paths)
+        seen = set(paths)
+        if len(seen) != len(paths):
+            raise ValueError(f"{self.name}: duplicate paths in epoch list")
+        self._queue.extend(paths)
+        self._covered = seen
+        self.epochs_loaded += 1
+        self.total_enqueued += len(paths)
+
+    def next(self) -> Optional[str]:
+        """Pop the next path to prefetch, or None if the epoch is drained."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def covers(self, path: str) -> bool:
+        """Whether ``path`` belongs to the current epoch's prefetch list."""
+        return path in self._covered
+
+    @property
+    def remaining(self) -> int:
+        return len(self._queue)
+
+    def pending_paths(self) -> List[str]:
+        return list(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return f"<FilenameQueue {self.name!r} remaining={len(self._queue)}>"

@@ -1,0 +1,30 @@
+"""``repro.core.integrations`` — PRISMA bindings for the DL frameworks.
+
+The two integrations the paper evaluates: TensorFlow (POSIX-backend ``pread``
+substitution, §IV "10 LoC") and PyTorch (UNIX-domain-socket client/server,
+one client per worker process, §IV "35 LoC").
+"""
+
+from .tf_binding import PrismaTensorFlowPipeline
+from .tf_binding import integration_loc as tf_integration_loc
+from .torch_binding import (
+    CLIENT_OVERHEAD,
+    SERVER_SERVICE_TIME,
+    PrismaTorchClient,
+    PrismaTorchDataLoader,
+    PrismaUDSServer,
+    make_torch_posix_factory,
+)
+from .torch_binding import integration_loc as torch_integration_loc
+
+__all__ = [
+    "CLIENT_OVERHEAD",
+    "PrismaTensorFlowPipeline",
+    "PrismaTorchClient",
+    "PrismaTorchDataLoader",
+    "PrismaUDSServer",
+    "SERVER_SERVICE_TIME",
+    "make_torch_posix_factory",
+    "tf_integration_loc",
+    "torch_integration_loc",
+]

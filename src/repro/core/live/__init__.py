@@ -1,0 +1,25 @@
+"""``repro.core.live`` — PRISMA on real threads and real files.
+
+The deployable counterpart of the simulated data plane: a thread-pool
+prefetcher (:class:`LivePrefetcher`), a thread-safe buffer
+(:class:`LiveBuffer`), a background control loop (:class:`LiveController`
+— running the *same* policy classes as the simulation), and the
+user-facing session (:class:`LivePrisma`).
+"""
+
+from .adapters import EpochBatchIterator, PrismaFileDataset
+from .buffer import BufferClosed, LiveBuffer
+from .controller import LiveController
+from .dataloader import LivePrisma, static_live_prisma
+from .prefetcher import LivePrefetcher
+
+__all__ = [
+    "BufferClosed",
+    "EpochBatchIterator",
+    "LiveBuffer",
+    "LiveController",
+    "LivePrefetcher",
+    "LivePrisma",
+    "PrismaFileDataset",
+    "static_live_prisma",
+]

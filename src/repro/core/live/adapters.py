@@ -1,0 +1,108 @@
+"""Framework adapters for the live PRISMA session.
+
+The paper's integrations patch the framework's storage calls; these
+adapters do the equivalent for real Python training code without patching
+anything:
+
+* :class:`PrismaFileDataset` — a map-style dataset (``__len__`` /
+  ``__getitem__``) over a list of files whose reads are served by a
+  :class:`~repro.core.live.dataloader.LivePrisma` session.  Drop it where a
+  ``torch.utils.data.Dataset`` of raw files would go (with
+  ``num_workers=0`` — the session's producer threads replace loader
+  workers, which is exactly PRISMA's PyTorch pitch).
+* :class:`EpochBatchIterator` — a minimal shuffling, batching loader over
+  such a dataset, for scripts with no framework at all.
+
+Neither imports torch; they follow its protocols structurally.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from .dataloader import LivePrisma
+
+#: Transforms raw file bytes into a training sample (decode/augment).
+Transform = Callable[[bytes], object]
+
+
+class PrismaFileDataset:
+    """Map-style dataset over files, served through a live PRISMA session.
+
+    Random access (``dataset[i]``) works — uncovered paths fall back to a
+    direct read — but throughput comes from announcing the epoch's access
+    order up front via :meth:`set_epoch_order`, which hands PRISMA the
+    shuffled filenames list (the paper's §IV shared-list contract).
+    """
+
+    def __init__(
+        self,
+        paths: Sequence[str],
+        prisma: LivePrisma,
+        transform: Optional[Transform] = None,
+    ) -> None:
+        if not paths:
+            raise ValueError("dataset needs at least one file")
+        self.paths: List[str] = list(paths)
+        self.prisma = prisma
+        self.transform = transform
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __getitem__(self, index: int) -> object:
+        data = self.prisma.read(self.paths[index])
+        if self.transform is not None:
+            return self.transform(data)
+        return data
+
+    def set_epoch_order(self, indices: Sequence[int]) -> None:
+        """Announce this epoch's access order so producers prefetch it."""
+        self.prisma.load_epoch(self.paths[i] for i in indices)
+
+
+class EpochBatchIterator:
+    """Shuffle + batch + prefetch loop over a :class:`PrismaFileDataset`.
+
+    Yields ``(epoch, batch)`` where ``batch`` is a list of samples; the
+    shuffle is seeded and per-epoch, mirroring the simulated
+    :class:`~repro.dataset.shuffle.EpochShuffler` contract.
+    """
+
+    def __init__(
+        self,
+        dataset: PrismaFileDataset,
+        batch_size: int,
+        epochs: int,
+        seed: int = 0,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.seed = seed
+        self.drop_last = drop_last
+
+    def _order(self, epoch: int) -> List[int]:
+        rng = random.Random(f"{self.seed}:{epoch}")
+        indices = list(range(len(self.dataset)))
+        rng.shuffle(indices)
+        return indices
+
+    def __iter__(self) -> Iterator[Tuple[int, List[object]]]:
+        for epoch in range(self.epochs):
+            order = self._order(epoch)
+            self.dataset.set_epoch_order(order)
+            batch: List[object] = []
+            for index in order:
+                batch.append(self.dataset[index])
+                if len(batch) == self.batch_size:
+                    yield epoch, batch
+                    batch = []
+            if batch and not self.drop_last:
+                yield epoch, batch

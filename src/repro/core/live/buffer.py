@@ -1,0 +1,128 @@
+"""Thread-safe prefetch buffer for the live (real-threads) PRISMA.
+
+Same semantics as the simulated :class:`~repro.core.buffer.PrefetchBuffer` —
+bounded capacity, path-keyed, evict-on-read, blocking on both sides — but
+implemented with a condition variable for real producer/consumer threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+
+class BufferClosed(RuntimeError):
+    """The buffer was shut down while a thread was blocked on it."""
+
+
+class LiveBuffer:
+    """Bounded, path-keyed, thread-safe sample buffer."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._items: Dict[str, bytes] = {}
+        self._cond = threading.Condition()
+        self._closed = False
+        #: paths a consumer is currently blocked on.  Inserts of demanded
+        #: paths bypass the capacity check: otherwise a producer holding the
+        #: demanded sample can starve behind a sibling whose fresh inserts
+        #: always win the race for freed slots (hot-thread lock acquisition
+        #: beats a woken waiter), deadlocking the whole pipeline.  The
+        #: buffer may transiently exceed capacity by at most the number of
+        #: concurrently demanded paths (≤ consumer count).
+        self._demanded: Dict[str, int] = {}
+        # statistics (guarded by the same lock)
+        self.hits = 0
+        self.waits = 0
+        self.inserts = 0
+        self.peak_level = 0
+
+    # -- capacity --------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        with self._cond:
+            return self._capacity
+
+    def set_capacity(self, capacity: int) -> None:
+        """Control-plane knob; growing wakes blocked producers."""
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        with self._cond:
+            self._capacity = capacity
+            self._cond.notify_all()
+
+    @property
+    def level(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    # -- producer side ------------------------------------------------------------
+    def insert(self, path: str, data: bytes, timeout: Optional[float] = None) -> None:
+        """Stage a sample; blocks while the buffer is at capacity.
+
+        Demanded paths (a consumer is blocked on them) are admitted even at
+        capacity — see ``_demanded`` for why this is required for liveness.
+        """
+        with self._cond:
+            while (
+                len(self._items) >= self._capacity
+                and path not in self._demanded
+                and not self._closed
+            ):
+                if not self._cond.wait(timeout=timeout):
+                    raise TimeoutError(f"insert({path!r}) timed out")
+            if self._closed:
+                raise BufferClosed("insert on closed buffer")
+            self._items[path] = data
+            self.inserts += 1
+            self.peak_level = max(self.peak_level, len(self._items))
+            self._cond.notify_all()
+
+    # -- consumer side ------------------------------------------------------------
+    def take(self, path: str, timeout: Optional[float] = None) -> bytes:
+        """Consume (and evict) the sample for ``path``; blocks until present."""
+        with self._cond:
+            if path in self._items:
+                self.hits += 1
+            else:
+                self.waits += 1
+            self._demanded[path] = self._demanded.get(path, 0) + 1
+            self._cond.notify_all()  # let a blocked producer of `path` in
+            try:
+                while path not in self._items and not self._closed:
+                    if not self._cond.wait(timeout=timeout):
+                        raise TimeoutError(f"take({path!r}) timed out")
+            finally:
+                count = self._demanded.get(path, 0) - 1
+                if count <= 0:
+                    self._demanded.pop(path, None)
+                else:
+                    self._demanded[path] = count
+            if self._closed and path not in self._items:
+                raise BufferClosed("take on closed buffer")
+            data = self._items.pop(path)
+            self._cond.notify_all()
+            return data
+
+    def contains(self, path: str) -> bool:
+        with self._cond:
+            return path in self._items
+
+    # -- lifecycle --------------------------------------------------------------
+    def close(self) -> None:
+        """Release every blocked thread with :class:`BufferClosed`."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def hit_rate(self) -> float:
+        with self._cond:
+            total = self.hits + self.waits
+            return self.hits / total if total > 0 else 0.0

@@ -1,0 +1,69 @@
+"""Live control plane: a background thread running a ControlPolicy.
+
+The exact same :class:`~repro.core.control.policy.ControlPolicy` objects
+that tune the simulated data plane drive the live one — the snapshot and
+settings types are shared.  The loop is a plain daemon thread waking every
+``period`` wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+from ..control.policy import ControlPolicy, PrismaAutotunePolicy
+from ..optimization import MetricsSnapshot
+from .prefetcher import LivePrefetcher
+
+
+class LiveController:
+    """Periodic monitor/decide/enforce loop over one live prefetcher."""
+
+    def __init__(
+        self,
+        prefetcher: LivePrefetcher,
+        policy: Optional[ControlPolicy] = None,
+        period: float = 0.1,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.prefetcher = prefetcher
+        self.policy = policy or PrismaAutotunePolicy()
+        self.period = period
+        self.history: List[MetricsSnapshot] = []
+        self.enforcements = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("controller already started")
+        self._thread = threading.Thread(
+            target=self._loop, name="prisma-controller", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.period):
+            snapshot = self.prefetcher.snapshot()
+            previous = self.history[-1] if self.history else None
+            self.history.append(snapshot)
+            if len(self.history) > 10_000:
+                del self.history[:5_000]
+            decision = self.policy.decide(snapshot, previous)
+            if decision is not None:
+                self.prefetcher.apply_settings(decision)
+                self.enforcements += 1
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "LiveController":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

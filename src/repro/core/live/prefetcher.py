@@ -1,0 +1,224 @@
+"""Live PRISMA: real producer threads prefetching real files.
+
+This is the deployable counterpart of the simulated data plane — the same
+architecture (FIFO filename queue → up to *t* producer threads → bounded
+in-memory buffer → evict-on-read consumers) running on actual OS threads
+and actual ``open()``/``read()`` syscalls.
+
+It reuses the *identical* control-plane types as the simulation
+(:class:`~repro.core.optimization.MetricsSnapshot`,
+:class:`~repro.core.optimization.TuningSettings`, every
+:class:`~repro.core.control.policy.ControlPolicy`): the decoupling argument
+of the paper made concrete — the control logic doesn't care whether the
+data plane is simulated or live.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Set
+
+from ..optimization import MetricsSnapshot, TuningSettings
+from .buffer import BufferClosed, LiveBuffer
+
+
+class LivePrefetcher:
+    """Parallel file prefetcher over the local filesystem.
+
+    Thread model: a dynamic pool of daemon producer threads; each loops
+    {dequeue path, read file, insert into buffer}.  The control plane (or
+    the user) retargets ``t`` via :meth:`set_producers` — surplus threads
+    retire after their current file; deficit spawns fresh ones.
+    """
+
+    def __init__(
+        self,
+        producers: int = 2,
+        buffer_capacity: int = 64,
+        max_producers: int = 16,
+        read_chunk: int = 1 << 20,
+    ) -> None:
+        if producers < 1:
+            raise ValueError("producers must be >= 1")
+        if max_producers < producers:
+            raise ValueError("max_producers must be >= producers")
+        if read_chunk < 1:
+            raise ValueError("read_chunk must be >= 1")
+        self.buffer = LiveBuffer(buffer_capacity)
+        self.max_producers = max_producers
+        self.read_chunk = read_chunk
+        self._lock = threading.Lock()
+        self._queue: Deque[str] = deque()
+        self._covered: Set[str] = set()
+        self._target = producers
+        self._threads: List[threading.Thread] = []
+        self._live = 0
+        self._next_id = 0
+        self._closed = False
+        # metrics (under _lock)
+        self.bytes_fetched = 0
+        self.files_fetched = 0
+        self.read_errors = 0
+
+    # -- epoch lifecycle ------------------------------------------------------------
+    def load_epoch(self, paths: Iterable[str]) -> None:
+        """Install the shuffled filenames list and (re)start producers."""
+        paths = list(paths)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("prefetcher is closed")
+            if self._queue:
+                raise ValueError(
+                    f"{len(self._queue)} paths still pending from the previous epoch"
+                )
+            self._queue.extend(paths)
+            self._covered = set(paths)
+        self._spawn_up_to_target()
+
+    def covers(self, path: str) -> bool:
+        with self._lock:
+            return path in self._covered
+
+    @property
+    def queue_remaining(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    # -- producer management -----------------------------------------------------
+    @property
+    def target_producers(self) -> int:
+        with self._lock:
+            return self._target
+
+    @property
+    def live_producers(self) -> int:
+        with self._lock:
+            return self._live
+
+    def set_producers(self, t: int) -> None:
+        if not 1 <= t <= self.max_producers:
+            raise ValueError(f"producers must be in [1, {self.max_producers}]")
+        with self._lock:
+            self._target = t
+        self._spawn_up_to_target()
+
+    def _spawn_up_to_target(self) -> None:
+        to_start: List[threading.Thread] = []
+        with self._lock:
+            while (
+                self._live < self._target
+                and self._queue
+                and not self._closed
+            ):
+                thread = threading.Thread(
+                    target=self._producer_loop,
+                    name=f"prisma-producer-{self._next_id}",
+                    daemon=True,
+                )
+                self._next_id += 1
+                self._live += 1
+                self._threads.append(thread)
+                to_start.append(thread)
+        for thread in to_start:
+            thread.start()
+
+    def _retire(self) -> None:
+        self._live -= 1  # caller holds the lock
+
+    def _producer_loop(self) -> None:
+        # The exit decision and the live-count decrement happen in ONE
+        # critical section: were they separate, two threads could both see
+        # "live > target" after a shrink and both retire, leaving zero
+        # producers and a consumer blocked forever.
+        while True:
+            with self._lock:
+                if self._closed or self._live > self._target or not self._queue:
+                    self._retire()
+                    return
+                path = self._queue.popleft()
+            try:
+                payload: object = self._read_file(path)
+            except OSError as exc:
+                with self._lock:
+                    self.read_errors += 1
+                # Deliver the failure to the waiting consumer instead of
+                # leaving it blocked on a sample that will never arrive.
+                payload = exc
+            try:
+                self.buffer.insert(path, payload)  # type: ignore[arg-type]
+            except BufferClosed:
+                with self._lock:
+                    self._retire()
+                return
+            if not isinstance(payload, Exception):
+                with self._lock:
+                    self.bytes_fetched += len(payload)
+                    self.files_fetched += 1
+
+    def _read_file(self, path: str) -> bytes:
+        chunks = []
+        with open(path, "rb") as fh:
+            while True:
+                chunk = fh.read(self.read_chunk)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        return b"".join(chunks)
+
+    # -- consumer side ------------------------------------------------------------
+    def read(self, path: str, timeout: Optional[float] = None) -> bytes:
+        """Serve one whole-file read.
+
+        Covered paths come from the buffer (blocking until prefetched);
+        uncovered paths (e.g. validation files) fall through to a direct
+        read, exactly like the stage's fallback path in the simulation.
+        """
+        if self.covers(path):
+            data = self.buffer.take(path, timeout=timeout)
+            if isinstance(data, Exception):
+                raise data  # a producer's read failure, delivered here
+            return data
+        return self._read_file(path)
+
+    # -- control interface ----------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            bytes_fetched = self.bytes_fetched
+            live = self._live
+            remaining = len(self._queue)
+        return MetricsSnapshot(
+            time=time.monotonic(),
+            requests=self.buffer.hits + self.buffer.waits,
+            hits=self.buffer.hits,
+            waits=self.buffer.waits,
+            buffer_level=self.buffer.level,
+            buffer_capacity=self.buffer.capacity,
+            producers_allocated=live,
+            producers_active=live,
+            bytes_fetched=bytes_fetched,
+            queue_remaining=remaining,
+        )
+
+    def apply_settings(self, settings: TuningSettings) -> None:
+        if settings.producers is not None:
+            self.set_producers(settings.producers)
+        if settings.buffer_capacity is not None:
+            self.buffer.set_capacity(settings.buffer_capacity)
+
+    # -- lifecycle --------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._queue.clear()
+        self.buffer.close()
+        for thread in list(self._threads):
+            if thread.is_alive():
+                thread.join(timeout=2.0)
+
+    def __enter__(self) -> "LivePrefetcher":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

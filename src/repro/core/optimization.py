@@ -1,0 +1,97 @@
+"""The *optimization object* abstraction (paper §III-A).
+
+A data-plane stage hosts one or more optimization objects: *"an abstraction
+that allows users to implement custom storage optimizations to apply over DL
+requests … examples include data prefetching, parallel I/O, and storage
+tiering"*.  An optimization object:
+
+* may intercept read requests (``serve``) — returning an event when it
+  handles the request itself, or ``None`` to pass it down the stack;
+* exposes *tuning knobs* the control plane adjusts (``apply_settings``);
+* reports *metrics* the control plane monitors (``snapshot``).
+
+This is the extension point that makes the data plane generic: PRISMA's
+:class:`~repro.core.prefetcher.ParallelPrefetcher` is one implementation;
+:class:`~repro.core.tiering.TieringObject` (the paper's §VII "future work")
+is another, and both plug into the same stage unchanged.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..simcore.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.kernel import Simulator
+    from ..storage.posix import PosixLike
+
+
+@dataclass(frozen=True)
+class TuningSettings:
+    """Control-plane directives for an optimization object.
+
+    ``producers`` is PRISMA's *t* (parallel read threads) and
+    ``buffer_capacity`` its *N* (in-memory samples); extensions may carry
+    extra free-form knobs in ``extra``.
+    """
+
+    producers: Optional[int] = None
+    buffer_capacity: Optional[int] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """What an optimization object reports to the control plane."""
+
+    time: float
+    requests: float = 0.0
+    hits: float = 0.0
+    waits: float = 0.0
+    buffer_level: int = 0
+    buffer_capacity: int = 0
+    producers_allocated: int = 0
+    producers_active: float = 0.0
+    bytes_fetched: float = 0.0
+    queue_remaining: int = 0
+
+    def starvation(self, previous: Optional["MetricsSnapshot"] = None) -> float:
+        """Fraction of consumer requests that stalled (since ``previous``)."""
+        hits, waits = self.hits, self.waits
+        if previous is not None:
+            hits -= previous.hits
+            waits -= previous.waits
+        total = hits + waits
+        return waits / total if total > 0 else 0.0
+
+
+class OptimizationObject(abc.ABC):
+    """Base class for self-contained, controllable I/O optimizations."""
+
+    def __init__(self, sim: "Simulator", backend: "PosixLike", name: str) -> None:
+        self.sim = sim
+        self.backend = backend
+        self.name = name
+
+    @abc.abstractmethod
+    def serve(self, path: str) -> Optional[Event]:
+        """Try to serve a whole-file read for ``path``.
+
+        Return an event (valued with the byte count) if this object handles
+        the request, or ``None`` to let the stage fall through to the
+        backend.
+        """
+
+    @abc.abstractmethod
+    def snapshot(self) -> MetricsSnapshot:
+        """Current metrics for the control plane."""
+
+    @abc.abstractmethod
+    def apply_settings(self, settings: TuningSettings) -> None:
+        """Adopt new control-plane directives."""
+
+    def on_epoch(self, paths) -> None:  # noqa: B027 - optional hook
+        """Notification that a new epoch's filenames list arrived."""

@@ -1,0 +1,176 @@
+"""PRISMA's parallel data-prefetching optimization object (paper §IV).
+
+Up to ``t`` *producer* threads concurrently dequeue filenames from the FIFO
+queue, read the files from backend storage, and stage them in the in-memory
+:class:`~repro.core.buffer.PrefetchBuffer` (at most ``N`` samples).
+Consumers — the DL framework's reader threads or worker processes — are
+served from the buffer; a served sample is evicted.
+
+Both knobs are live: the control plane raises/lowers ``t`` (producers park
+or spawn between files) and ``N`` (buffer capacity retargets without
+eviction).  The number of *consumers* is deliberately unknown to the
+prefetcher ("its number is oblivious to PRISMA").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from ..simcore.event import Event
+from ..simcore.tracing import TimeWeightedGauge
+from .buffer import HIT_OVERHEAD, MEMORY_BANDWIDTH, PrefetchBuffer
+from .filename_queue import FilenameQueue
+from .optimization import MetricsSnapshot, OptimizationObject, TuningSettings
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.kernel import Simulator
+    from ..storage.posix import PosixLike
+
+
+class ParallelPrefetcher(OptimizationObject):
+    """Parallel read-ahead into a bounded in-memory buffer.
+
+    Parameters
+    ----------
+    producers:
+        Initial *t* — concurrent backend readers.
+    buffer_capacity:
+        Initial *N* — maximum staged samples.
+    max_producers:
+        Hard ceiling the control plane may never exceed.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        backend: "PosixLike",
+        producers: int = 2,
+        buffer_capacity: int = 256,
+        max_producers: int = 16,
+        name: str = "prisma.prefetch",
+    ) -> None:
+        super().__init__(sim, backend, name)
+        if producers < 1:
+            raise ValueError("producers must be >= 1")
+        if max_producers < producers:
+            raise ValueError("max_producers must be >= producers")
+        self.buffer = PrefetchBuffer(sim, buffer_capacity, name=f"{name}.buffer")
+        self.queue = FilenameQueue(name=f"{name}.queue")
+        self.max_producers = max_producers
+        self._target_producers = producers
+        self._live_producers = 0
+        self._next_worker_id = 0
+        #: producers currently blocked in a backend read (paper Fig. 3 input)
+        self.active_producers = TimeWeightedGauge(sim, 0, name=f"{name}.active")
+        #: producers alive (reading, inserting, or between files)
+        self.allocated_producers = TimeWeightedGauge(sim, 0, name=f"{name}.allocated")
+        self.bytes_fetched = 0.0
+        self.files_fetched = 0
+        self.read_errors = 0
+
+    # -- knobs -----------------------------------------------------------------
+    @property
+    def target_producers(self) -> int:
+        return self._target_producers
+
+    def set_producers(self, t: int) -> None:
+        """Retarget *t*; excess producers park after their current file."""
+        if not 1 <= t <= self.max_producers:
+            raise ValueError(f"producers must be in [1, {self.max_producers}]")
+        self._target_producers = t
+        self._spawn_up_to_target()
+
+    def apply_settings(self, settings: TuningSettings) -> None:
+        if settings.producers is not None:
+            self.set_producers(settings.producers)
+        if settings.buffer_capacity is not None:
+            self.buffer.set_capacity(settings.buffer_capacity)
+
+    # -- epoch lifecycle ------------------------------------------------------------
+    def on_epoch(self, paths: Iterable[str]) -> None:
+        """Install the shared shuffled filenames list and start prefetching."""
+        self.queue.load(paths)
+        self._spawn_up_to_target()
+
+    def _spawn_up_to_target(self) -> None:
+        while self._live_producers < self._target_producers and self.queue.remaining > 0:
+            worker_id = self._next_worker_id
+            self._next_worker_id += 1
+            self._live_producers += 1
+            self.allocated_producers.set(self._live_producers)
+            self.sim.process(self._producer(worker_id), name=f"{self.name}.p{worker_id}")
+
+    def _producer(self, worker_id: int):
+        """One producer thread: dequeue, read, stage, repeat."""
+        try:
+            while True:
+                # Park when the control plane shrank t below our rank.
+                if self._live_producers > self._target_producers:
+                    return
+                path = self.queue.next()
+                if path is None:
+                    return  # epoch drained; respawned on next on_epoch()
+                self.active_producers.increment()
+                try:
+                    payload = yield self.backend.read_whole(path)
+                except Exception as exc:  # noqa: BLE001 - deliver, don't die
+                    # A failed read must reach the consumer waiting for this
+                    # path (or it would block forever); stage the exception.
+                    self.read_errors += 1
+                    payload = exc
+                finally:
+                    self.active_producers.decrement()
+                if not isinstance(payload, Exception):
+                    self.bytes_fetched += payload
+                    self.files_fetched += 1
+                yield self.buffer.insert(path, payload)
+        finally:
+            self._live_producers -= 1
+            self.allocated_producers.set(self._live_producers)
+
+    # -- data path --------------------------------------------------------------
+    def serve(self, path: str) -> Optional[Event]:
+        """Serve a read from the buffer, or decline for uncovered paths."""
+        if not self.queue.covers(path):
+            return None  # e.g. validation files: fall through to backend
+        hit, fetched = self.buffer.request(path)
+        done = Event(self.sim, name=f"{self.name}.serve")
+
+        def after_fetch(ev: Event) -> None:
+            if not ev.ok:
+                done.fail(ev.exception)
+                return
+            nbytes = ev._value
+            if isinstance(nbytes, Exception):
+                # A producer staged its read failure for this path.
+                done.fail(nbytes)
+                return
+
+            def copy_out():
+                yield self.sim.timeout(HIT_OVERHEAD + nbytes / MEMORY_BANDWIDTH)
+                return nbytes
+
+            proc = self.sim.process(copy_out(), name=f"{self.name}.copy")
+            proc.add_callback(
+                lambda p: done.succeed(p._value) if p.ok else done.fail(p.exception)
+            )
+
+        fetched.add_callback(after_fetch)
+        return done
+
+    # -- control-plane reporting ------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        hits = self.buffer.counters.get("hits")
+        waits = self.buffer.counters.get("waits")
+        return MetricsSnapshot(
+            time=self.sim.now,
+            requests=hits + waits,
+            hits=hits,
+            waits=waits,
+            buffer_level=self.buffer.level,
+            buffer_capacity=self.buffer.capacity,
+            producers_allocated=self._live_producers,
+            producers_active=self.active_producers.value,
+            bytes_fetched=self.bytes_fetched,
+            queue_remaining=self.queue.remaining,
+        )

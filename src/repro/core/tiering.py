@@ -1,0 +1,149 @@
+"""Storage-tiering optimization object (the paper's §VII extension).
+
+The paper's future work: *"it would be interesting to explore the impact of
+storage tiering policies under different datasets and models."*  Because the
+data plane treats optimizations as self-contained objects, tiering slots in
+next to (or instead of) the prefetcher with no stage or framework changes —
+which is precisely the extensibility claim of §III.
+
+:class:`TieringObject` keeps frequently accessed files on a *fast tier*
+(e.g. node-local NVMe or a RAM disk) in front of the slow shared backend:
+
+* a file is **promoted** (copied to the fast tier, in the background) once
+  it has been read ``promote_after`` times;
+* the fast tier holds at most ``fast_capacity_bytes``; least-recently-used
+  files are demoted (dropped — the slow tier remains authoritative);
+* both knobs are control-plane tunable via ``TuningSettings.extra``
+  (``"promote_after"``, ``"fast_capacity_bytes"``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..simcore.event import Event
+from ..simcore.tracing import CounterSet
+from ..storage.filesystem import Filesystem
+from .optimization import MetricsSnapshot, OptimizationObject, TuningSettings
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.kernel import Simulator
+    from ..storage.posix import PosixLike
+
+
+class TieringObject(OptimizationObject):
+    """Promote-on-access caching between a fast tier and a slow backend."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        backend: "PosixLike",
+        fast_fs: Filesystem,
+        fast_capacity_bytes: float,
+        promote_after: int = 2,
+        name: str = "prisma.tiering",
+    ) -> None:
+        super().__init__(sim, backend, name)
+        if fast_capacity_bytes <= 0:
+            raise ValueError("fast_capacity_bytes must be positive")
+        if promote_after < 1:
+            raise ValueError("promote_after must be >= 1")
+        self.fast_fs = fast_fs
+        self.fast_capacity_bytes = float(fast_capacity_bytes)
+        self.promote_after = promote_after
+        #: path -> bytes resident on the fast tier (LRU order)
+        self._resident: "OrderedDict[str, int]" = OrderedDict()
+        self._resident_bytes = 0.0
+        self._access_counts: Dict[str, int] = {}
+        self._promoting: Dict[str, bool] = {}
+        self.counters = CounterSet()
+
+    # -- data path --------------------------------------------------------------
+    def serve(self, path: str) -> Optional[Event]:
+        if path in self._resident:
+            self._resident.move_to_end(path)
+            self.counters.add("fast_hits")
+            return self.fast_fs.read_file(self._tier_path(path))
+        self.counters.add("slow_reads")
+        count = self._access_counts.get(path, 0) + 1
+        self._access_counts[path] = count
+        if count >= self.promote_after and not self._promoting.get(path):
+            self._promoting[path] = True
+            self.sim.process(self._promote(path), name=f"{self.name}.promote")
+        return self.backend.read_whole(path)
+
+    def _tier_path(self, path: str) -> str:
+        return f"/fast{path}"
+
+    def _promote(self, path: str):
+        """Background copy slow → fast, then mark resident."""
+        try:
+            nbytes = yield self.backend.read_whole(path)
+        except Exception:  # noqa: BLE001 - promotion is best-effort
+            self._promoting.pop(path, None)
+            return
+        if nbytes > self.fast_capacity_bytes:
+            self.counters.add("too_large")
+            self._promoting.pop(path, None)
+            return
+        self._evict_for(nbytes)
+        tier_path = self._tier_path(path)
+        if not self.fast_fs.exists(tier_path):
+            self.fast_fs.create(tier_path, 0)
+        yield self.fast_fs.write(tier_path, nbytes)
+        self._resident[path] = nbytes
+        self._resident_bytes += nbytes
+        self.counters.add("promotions")
+        self._promoting.pop(path, None)
+
+    def _evict_for(self, nbytes: int) -> None:
+        while self._resident and self._resident_bytes + nbytes > self.fast_capacity_bytes:
+            victim, size = self._resident.popitem(last=False)
+            self._resident_bytes -= size
+            tier_path = self._tier_path(victim)
+            if self.fast_fs.exists(tier_path):
+                self.fast_fs.unlink(tier_path)
+            self.counters.add("demotions")
+
+    # -- control interface ----------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        hits = self.counters.get("fast_hits")
+        misses = self.counters.get("slow_reads")
+        return MetricsSnapshot(
+            time=self.sim.now,
+            requests=hits + misses,
+            hits=hits,
+            waits=misses,
+            buffer_level=len(self._resident),
+            buffer_capacity=max(int(self.fast_capacity_bytes), 1),
+            bytes_fetched=self.counters.get("promotions"),
+            queue_remaining=0,
+        )
+
+    def apply_settings(self, settings: TuningSettings) -> None:
+        promote_after = settings.extra.get("promote_after")
+        if promote_after is not None:
+            if int(promote_after) < 1:
+                raise ValueError("promote_after must be >= 1")
+            self.promote_after = int(promote_after)
+        capacity = settings.extra.get("fast_capacity_bytes")
+        if capacity is not None:
+            if float(capacity) <= 0:
+                raise ValueError("fast_capacity_bytes must be positive")
+            self.fast_capacity_bytes = float(capacity)
+            self._evict_for(0)
+
+    # -- observability -----------------------------------------------------------
+    def fast_tier_hit_rate(self) -> float:
+        hits = self.counters.get("fast_hits")
+        total = hits + self.counters.get("slow_reads")
+        return hits / total if total > 0 else 0.0
+
+    @property
+    def resident_files(self) -> int:
+        return len(self._resident)
+
+    @property
+    def resident_bytes(self) -> float:
+        return self._resident_bytes

@@ -1,0 +1,50 @@
+"""``repro.dataset`` — dataset substrate.
+
+Catalogs of sample files (:mod:`.catalog`), ImageNet-shaped synthetic
+generators with scaling presets (:mod:`.synthetic`), the shared per-epoch
+shuffle contract between frameworks and PRISMA (:mod:`.shuffle`), and
+record-sharded layouts (:mod:`.formats`).
+"""
+
+from .catalog import DatasetCatalog, SampleInfo, TrainValSplit
+from .formats import (
+    RECORD_OVERHEAD_BYTES,
+    ShardedDataset,
+    ShardEntry,
+    sequentiality,
+    shard_catalog,
+)
+from .shuffle import EpochShuffler, SequentialOrder, batches_from_order, shuffled_filenames
+from .synthetic import (
+    IMAGENET_TRAIN_BYTES,
+    IMAGENET_TRAIN_FILES,
+    IMAGENET_VAL_BYTES,
+    IMAGENET_VAL_FILES,
+    imagenet_like,
+    lognormal_sizes,
+    tiny_dataset,
+    uniform_sizes,
+)
+
+__all__ = [
+    "DatasetCatalog",
+    "EpochShuffler",
+    "IMAGENET_TRAIN_BYTES",
+    "IMAGENET_TRAIN_FILES",
+    "IMAGENET_VAL_BYTES",
+    "IMAGENET_VAL_FILES",
+    "RECORD_OVERHEAD_BYTES",
+    "SampleInfo",
+    "SequentialOrder",
+    "ShardEntry",
+    "ShardedDataset",
+    "TrainValSplit",
+    "batches_from_order",
+    "imagenet_like",
+    "lognormal_sizes",
+    "sequentiality",
+    "shard_catalog",
+    "shuffled_filenames",
+    "tiny_dataset",
+    "uniform_sizes",
+]

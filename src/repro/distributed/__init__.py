@@ -1,0 +1,30 @@
+"""``repro.distributed`` — multi-node synchronous data-parallel training.
+
+The paper's §VII "distributed training settings" direction: N compute
+nodes with per-node GPU ensembles and input pipelines (optionally each
+behind a PRISMA stage under one logically centralized controller), sharded
+sampling over one shared storage backend, and a gradient all-reduce
+barrier coupling every step.
+"""
+
+from .barrier import StepBarrier
+from .training import (
+    ALLREDUCE_BUS_BANDWIDTH,
+    ALLREDUCE_LATENCY,
+    GRADIENT_BYTES,
+    DistributedResult,
+    DistributedTrainingJob,
+    NodeResult,
+    allreduce_cost,
+)
+
+__all__ = [
+    "ALLREDUCE_BUS_BANDWIDTH",
+    "ALLREDUCE_LATENCY",
+    "DistributedResult",
+    "DistributedTrainingJob",
+    "GRADIENT_BYTES",
+    "NodeResult",
+    "StepBarrier",
+    "allreduce_cost",
+]

@@ -1,0 +1,49 @@
+"""``repro.experiments`` — the evaluation harness.
+
+One module per paper artifact: :mod:`.figure2` (TF training times),
+:mod:`.figure3` (thread CDFs), :mod:`.figure4` (PyTorch worker sweep),
+plus :mod:`.ablation` (design ablations), :mod:`.paper` (the paper's quoted
+anchors), :mod:`.config` (hardware + scaling presets), :mod:`.runner` (one
+trial end-to-end), and :mod:`.report` (ASCII rendering).
+"""
+
+from .config import (
+    ExperimentScale,
+    HardwareProfile,
+    abci_node,
+    figure2_scale,
+    figure4_scale,
+    test_scale,
+)
+from .figure2 import Figure2Cell, Figure2Result, run_figure2
+from .figure3 import Figure3Curve, Figure3Result, run_figure3
+from .figure4 import Figure4Cell, Figure4Result, run_figure4
+from .report import format_ablation, format_figure2, format_figure3, format_figure4
+from .runner import TF_SETUPS, TORCH_SETUPS, TrialResult, run_tf_trial, run_torch_trial
+
+__all__ = [
+    "ExperimentScale",
+    "Figure2Cell",
+    "Figure2Result",
+    "Figure3Curve",
+    "Figure3Result",
+    "Figure4Cell",
+    "Figure4Result",
+    "HardwareProfile",
+    "TF_SETUPS",
+    "TORCH_SETUPS",
+    "TrialResult",
+    "abci_node",
+    "figure2_scale",
+    "figure4_scale",
+    "format_ablation",
+    "format_figure2",
+    "format_figure3",
+    "format_figure4",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_tf_trial",
+    "run_torch_trial",
+    "test_scale",
+]

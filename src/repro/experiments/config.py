@@ -1,0 +1,94 @@
+"""Experiment configuration: hardware profiles and scaling presets.
+
+**Scaling.**  Full-ImageNet runs would push ~10⁸ kernel events per trial;
+instead the harness runs *self-similar scaled* workloads: file counts (and
+hence total bytes and step counts) divide by ``scale`` while every *rate*
+(device bandwidth, GPU step time, per-file costs) is untouched.  All
+throughput-governed durations then shrink exactly by ``scale``, and
+``paper_equivalent()`` multiplies back up.  Validity requires granularity —
+enough batches per epoch that pipeline lookahead stays a small fraction of
+the epoch (see ``min_batches_per_epoch``); the figure presets respect this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..storage.device import DeviceProfile, intel_p4600
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """The evaluation machine (paper §V: one ABCI compute node)."""
+
+    name: str
+    device: DeviceProfile
+    n_gpus: int = 4
+    cpu_cores: int = 40
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 1 or self.cpu_cores < 1:
+            raise ValueError("n_gpus and cpu_cores must be >= 1")
+
+
+def abci_node() -> HardwareProfile:
+    """2×20-core Xeon, 4×V100, 384 GiB RAM, Intel P4600 1.6 TiB (§V)."""
+    return HardwareProfile(name="abci-node", device=intel_p4600(), n_gpus=4, cpu_cores=40)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Workload scaling + methodology knobs for one harness invocation."""
+
+    scale: int
+    epochs: int = 2
+    runs: int = 1
+    #: feedback-loop period in *unscaled* seconds (divided by ``scale``)
+    control_period_unscaled: float = 1.0
+    #: paper methodology: 10 epochs per training run
+    paper_epochs: int = 10
+
+    def __post_init__(self) -> None:
+        if self.scale < 1:
+            raise ValueError("scale must be >= 1")
+        if self.epochs < 1 or self.runs < 1:
+            raise ValueError("epochs and runs must be >= 1")
+        if self.control_period_unscaled <= 0:
+            raise ValueError("control period must be positive")
+
+    @property
+    def control_period(self) -> float:
+        return self.control_period_unscaled / self.scale
+
+    def paper_equivalent(self, sim_seconds: float) -> float:
+        """Map a scaled ``epochs``-epoch sim time to a full 10-epoch run."""
+        return sim_seconds * self.scale * (self.paper_epochs / self.epochs)
+
+    def batches_per_epoch(self, batch_size: int, train_files: int = 1_281_167) -> int:
+        return max((train_files // self.scale) // batch_size, 1)
+
+    def check_granularity(self, batch_size: int, min_batches: int = 25) -> None:
+        """Fail loudly when scaling would distort pipeline dynamics."""
+        got = self.batches_per_epoch(batch_size)
+        if got < min_batches:
+            raise ValueError(
+                f"scale={self.scale} leaves only {got} batches/epoch at "
+                f"batch={batch_size}; need >= {min_batches} for a faithful "
+                "pipeline simulation — lower the scale"
+            )
+
+
+# -- presets -------------------------------------------------------------------
+def figure2_scale(quick: bool = False) -> ExperimentScale:
+    """TF experiments: batch 64 needs 200 batches/epoch at scale=100."""
+    return ExperimentScale(scale=200 if quick else 100, epochs=1 if quick else 2)
+
+
+def figure4_scale(quick: bool = False) -> ExperimentScale:
+    """PyTorch sweep: 16 workers need >=100 batches/epoch -> scale<=50."""
+    return ExperimentScale(scale=50, epochs=1 if quick else 2)
+
+
+def test_scale() -> ExperimentScale:
+    """For unit/integration tests: small and fast, small batches only."""
+    return ExperimentScale(scale=1000, epochs=1)

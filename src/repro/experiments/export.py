@@ -1,0 +1,104 @@
+"""Structured export of experiment results (JSON).
+
+Figures as text tables are for humans; downstream plotting and regression
+tracking want machine-readable records.  Every figure result converts to a
+plain-dict document carrying measured values, paper anchors, and the
+scaling metadata needed to interpret them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from .config import ExperimentScale
+from .figure2 import Figure2Result, paper_reference
+from .figure3 import Figure3Result, paper_max_threads
+from .figure4 import Figure4Result, paper_advantage
+
+
+def _scale_meta(scale: Optional[ExperimentScale]) -> Dict[str, Any]:
+    if scale is None:
+        return {}
+    return {
+        "scale": scale.scale,
+        "epochs": scale.epochs,
+        "runs": scale.runs,
+        "paper_epochs": scale.paper_epochs,
+    }
+
+
+def figure2_to_dict(result: Figure2Result, scale: Optional[ExperimentScale] = None) -> Dict[str, Any]:
+    cells = []
+    for cell in result.cells:
+        ref = paper_reference(cell.model, cell.batch_size, cell.setup)
+        entry: Dict[str, Any] = {
+            "model": cell.model,
+            "batch_size": cell.batch_size,
+            "setup": cell.setup,
+            "seconds_mean": cell.stats.mean,
+            "seconds_std": cell.stats.std,
+            "runs": cell.stats.n,
+        }
+        if ref is not None:
+            entry["paper_seconds"] = ref
+        if cell.setup != "tf-baseline":
+            entry["reduction_vs_baseline_pct"] = result.reduction(
+                cell.model, cell.batch_size, cell.setup
+            )
+        cells.append(entry)
+    return {"figure": "figure2", "meta": _scale_meta(scale), "cells": cells}
+
+
+def figure3_to_dict(result: Figure3Result, scale: Optional[ExperimentScale] = None) -> Dict[str, Any]:
+    curves = []
+    for curve in result.curves:
+        entry: Dict[str, Any] = {
+            "model": curve.model,
+            "setup": curve.setup,
+            "max_threads": curve.max_threads,
+            "median_threads": curve.median_threads(),
+            "cdf": [[v, c] for v, c in curve.cdf.points()],
+        }
+        if curve.setup == "tf-prisma":
+            entry["paper_max_threads"] = paper_max_threads(curve.model)
+        curves.append(entry)
+    return {"figure": "figure3", "meta": _scale_meta(scale), "curves": curves}
+
+
+def figure4_to_dict(result: Figure4Result, scale: Optional[ExperimentScale] = None) -> Dict[str, Any]:
+    cells = []
+    for cell in result.cells:
+        cells.append(
+            {
+                "model": cell.model,
+                "setup": cell.setup,
+                "num_workers": cell.num_workers,
+                "seconds_mean": cell.stats.mean,
+                "seconds_std": cell.stats.std,
+            }
+        )
+    advantages = []
+    for model in sorted({c.model for c in result.cells}):
+        for workers in result.worker_counts():
+            advantages.append(
+                {
+                    "model": model,
+                    "num_workers": workers,
+                    "advantage_seconds": result.advantage(model, workers),
+                    "paper_advantage_seconds": paper_advantage(model, workers),
+                }
+            )
+    return {
+        "figure": "figure4",
+        "meta": _scale_meta(scale),
+        "cells": cells,
+        "advantages": advantages,
+    }
+
+
+def dump_json(document: Dict[str, Any], path: str) -> None:
+    """Write a result document as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")

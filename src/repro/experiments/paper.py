@@ -1,0 +1,86 @@
+"""Reference values quoted by the paper (CLUSTER 2021, §V).
+
+Every number here is taken verbatim from the paper's text, or derived from
+an explicitly quoted relation (derivations are noted inline).  The harness
+prints measured results next to these anchors; EXPERIMENTS.md records the
+comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# ---------------------------------------------------------------------------
+# Figure 2 — TensorFlow, 10 epochs, 4 GPUs, ImageNet.
+# Quoted directly: LeNet bs64 PRISMA 2,047 s / TF-opt 1,851 s ("51 % and
+# 55 % reduction"); LeNet bs256 PRISMA 1,880 s / TF-opt 1,363 s ("54 % and
+# 67 %").  Baselines are derived from the quoted reductions:
+#   bs64:  2047/(1-0.51) = 4,177 s ; 1851/(1-0.55) = 4,113 s  -> ~4,150 s
+#   bs256: 1880/(1-0.54) = 4,087 s ; 1363/(1-0.67) = 4,130 s  -> ~4,100 s
+# ---------------------------------------------------------------------------
+FIG2_LENET_SECONDS: Dict[Tuple[int, str], float] = {
+    (64, "baseline"): 4150.0,  # derived (see above)
+    (64, "prisma"): 2047.0,
+    (64, "optimized"): 1851.0,
+    (256, "baseline"): 4100.0,  # derived
+    (256, "prisma"): 1880.0,
+    (256, "optimized"): 1363.0,
+}
+
+#: "reducing training time by more than 50 % for LeNet and 20 % for
+#: AlexNet, when compared to TF baseline"
+FIG2_REDUCTION_VS_BASELINE: Dict[str, float] = {
+    "lenet": 50.0,  # "more than 50 %"
+    "alexnet": 20.0,  # "20 %"
+    "resnet50": 0.0,  # "no impact on training time"
+}
+
+# ---------------------------------------------------------------------------
+# Figure 3 — concurrent-reader-thread CDFs.
+# ---------------------------------------------------------------------------
+#: "PRISMA only uses at most 4 concurrent threads (3 in the case of
+#: ResNet-50)"
+FIG3_PRISMA_MAX_THREADS: Dict[str, int] = {
+    "lenet": 4,
+    "alexnet": 4,
+    "resnet50": 3,
+}
+#: "TF optimized allocates the maximum number of threads (i.e., 30)"
+FIG3_TF_OPTIMIZED_THREADS = 30
+#: "TF optimized uses 2-7x more threads for training"
+FIG3_THREAD_RATIO_RANGE = (2.0, 7.0)
+
+# ---------------------------------------------------------------------------
+# Figure 4 — PyTorch (LeNet / AlexNet, batch 256, 10 epochs).
+# Quoted: PRISMA's absolute decrease vs 0/2/4 workers and PyTorch's
+# decrease vs PRISMA at 8/16 workers.  Absolute native times are derived by
+# anchoring PRISMA-PyTorch at the TF PRISMA bs256 number (1,880 s), which
+# Figure 4's bars are consistent with.
+# ---------------------------------------------------------------------------
+FIG4_PRISMA_ADVANTAGE_SECONDS: Dict[str, Dict[int, float]] = {
+    # positive: PRISMA is faster by this many seconds; negative: slower.
+    "lenet": {0: 2618.0, 2: 1085.0, 4: 176.0, 8: -362.0, 16: -405.0},
+    "alexnet": {0: 2710.0, 2: 1171.0, 4: 337.0, 8: -211.0, 16: -542.0},
+}
+
+#: Derived native-PyTorch absolute times (PRISMA anchored at 1,880 s).
+FIG4_LENET_NATIVE_SECONDS: Dict[int, float] = {
+    0: 4498.0,
+    2: 2965.0,
+    4: 2056.0,
+    8: 1518.0,
+    16: 1475.0,
+}
+
+# ---------------------------------------------------------------------------
+# §IV — integration cost.
+# ---------------------------------------------------------------------------
+INTEGRATION_LOC = {"tensorflow": 10, "pytorch": 35}
+
+# ---------------------------------------------------------------------------
+# §V — methodology constants.
+# ---------------------------------------------------------------------------
+EPOCHS = 10
+BATCH_SIZES = (64, 128, 256)
+N_GPUS = 4
+RUNS = 5

@@ -1,0 +1,110 @@
+"""Terminal plotting: ASCII bar charts and CDF staircases.
+
+The figure commands append these below their tables so the paper's bar
+charts (Figs. 2, 4) and CDF plot (Fig. 3) can be eyeballed straight from a
+terminal, no plotting stack required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: glyph for filled bar cells
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(
+    title: str,
+    rows: Sequence[Tuple[str, float]],
+    width: int = 48,
+    unit: str = "s",
+) -> str:
+    """Horizontal bar chart; bars scale to the largest value."""
+    if not rows:
+        raise ValueError("bar_chart needs at least one row")
+    label_w = max(len(label) for label, _ in rows)
+    peak = max(value for _, value in rows)
+    lines = [title]
+    for label, value in rows:
+        if peak > 0:
+            cells = value / peak * width
+            bar = _BAR * int(cells) + (_HALF if cells - int(cells) >= 0.5 else "")
+        else:
+            bar = ""
+        lines.append(f"  {label:<{label_w}}  {bar:<{width}}  {value:,.0f} {unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    title: str,
+    groups: Dict[str, Dict[str, float]],
+    width: int = 48,
+    unit: str = "s",
+) -> str:
+    """Bars clustered by group (e.g. worker count), one row per series."""
+    if not groups:
+        raise ValueError("grouped_bar_chart needs at least one group")
+    series_labels = sorted({s for g in groups.values() for s in g})
+    label_w = max(
+        [len(s) for s in series_labels] + [len(str(g)) for g in groups]
+    )
+    peak = max(v for g in groups.values() for v in g.values())
+    lines = [title]
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name in series_labels:
+            if name not in series:
+                continue
+            value = series[name]
+            cells = value / peak * width if peak > 0 else 0
+            bar = _BAR * int(cells) + (_HALF if cells - int(cells) >= 0.5 else "")
+            lines.append(f"  {name:<{label_w}}  {bar:<{width}}  {value:,.0f} {unit}")
+    return "\n".join(lines)
+
+
+def cdf_staircase(
+    title: str,
+    curves: Dict[str, List[Tuple[float, float]]],
+    max_value: int = 32,
+    height: int = 10,
+) -> str:
+    """Plot step CDFs as a character grid (x: value, y: cumulative).
+
+    ``curves`` maps a one-character-labelled series name to its
+    ``(value, cumulative)`` points; the first character of each name marks
+    the curve on the grid (later series overwrite earlier on collisions).
+    """
+    if not curves:
+        raise ValueError("cdf_staircase needs at least one curve")
+    grid = [[" "] * (max_value + 1) for _ in range(height + 1)]
+
+    def cum_at(points: List[Tuple[float, float]], x: float) -> float:
+        acc = 0.0
+        for v, c in points:
+            if v <= x:
+                acc = c
+            else:
+                break
+        return acc
+
+    for name, points in curves.items():
+        mark = name[0]
+        for x in range(max_value + 1):
+            y = round(cum_at(points, x) * height)
+            grid[height - y][x] = mark
+
+    lines = [title]
+    for i, row in enumerate(grid):
+        frac = (height - i) / height
+        lines.append(f"  {frac:4.2f} |" + "".join(row))
+    axis = "".join("+" if x % 5 == 0 else "-" for x in range(max_value + 1))
+    labels = "".join(
+        f"{x:<5d}" if x % 5 == 0 else "" for x in range(0, max_value + 1, 5)
+    )
+    lines.append("       +" + axis)
+    lines.append("        " + labels)
+    lines.append("        concurrent reader threads")
+    legend = "   ".join(f"{name[0]} = {name}" for name in curves)
+    lines.append(f"  [{legend}]")
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""``repro.frameworks`` — DL framework simulators.
+
+The compute side of the reproduction: the model zoo and GPU ensemble
+(:mod:`.models`), the framework-agnostic training driver (:mod:`.training`),
+and the two framework input pipelines (:mod:`.tensorflow`,
+:mod:`.pytorch`).
+"""
+
+from .checkpoint import CHECKPOINT_BYTES, CheckpointConfig, CheckpointWriter
+from .models import (
+    ALEXNET,
+    LENET,
+    MODEL_ZOO,
+    RESNET50,
+    GpuEnsemble,
+    ModelProfile,
+    get_model,
+)
+from .training import (
+    DataSource,
+    EpochStats,
+    Trainer,
+    TrainingConfig,
+    TrainingResult,
+)
+
+__all__ = [
+    "ALEXNET",
+    "CHECKPOINT_BYTES",
+    "CheckpointConfig",
+    "CheckpointWriter",
+    "DataSource",
+    "EpochStats",
+    "GpuEnsemble",
+    "LENET",
+    "MODEL_ZOO",
+    "ModelProfile",
+    "RESNET50",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingResult",
+    "get_model",
+]

@@ -1,0 +1,114 @@
+"""Model checkpointing: the training loop's write-side storage traffic.
+
+DL jobs periodically persist model + optimizer state.  Checkpoints matter
+to the storage layer for two reasons: synchronous ones stall training for
+the write, and *any* checkpoint competes with the data path for device
+bandwidth — reads slow down exactly while the checkpoint streams out
+(another instance of the paper's partial-visibility problem: the framework
+schedules the write with no view of the read path it degrades).
+
+:class:`CheckpointWriter` attaches to the :class:`~.training.Trainer`; both
+synchronous (blocking) and asynchronous (overlapped snapshot upload)
+disciplines are modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from ..simcore.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.kernel import Simulator
+    from ..storage.filesystem import Filesystem
+
+#: Checkpoint payload per model: FP32 params + Adam moments (~3x params).
+CHECKPOINT_BYTES = {
+    "lenet": 0.75e6,
+    "alexnet": 732e6,
+    "resnet50": 306e6,
+}
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Checkpointing policy.
+
+    ``every_steps=0`` disables checkpointing; ``synchronous`` selects
+    blocking writes (training waits) vs snapshot-and-continue.
+    """
+
+    every_steps: int = 0
+    nbytes: float = 0.0
+    synchronous: bool = True
+
+    def __post_init__(self) -> None:
+        if self.every_steps < 0:
+            raise ValueError("every_steps must be >= 0")
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+    @classmethod
+    def for_model(cls, model_name: str, every_steps: int, synchronous: bool = True) -> "CheckpointConfig":
+        return cls(
+            every_steps=every_steps,
+            nbytes=CHECKPOINT_BYTES.get(model_name, 100e6),
+            synchronous=synchronous,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.every_steps > 0 and self.nbytes > 0
+
+
+class CheckpointWriter:
+    """Issues checkpoint writes to a filesystem on a step cadence."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        fs: "Filesystem",
+        config: CheckpointConfig,
+        prefix: str = "/ckpt",
+    ) -> None:
+        self.sim = sim
+        self.fs = fs
+        self.config = config
+        self.prefix = prefix
+        self.checkpoints_written = 0
+        self.sync_stall_time = 0.0
+        self._async_pending: List[Event] = []
+        self._global_step = 0
+
+    def on_step(self) -> Optional[Event]:
+        """Called once per optimizer step; returns a blocking event or None.
+
+        Synchronous mode returns the write event (the trainer must wait);
+        asynchronous mode launches the write and returns None — the trainer
+        continues, and :meth:`drain` at end of training joins stragglers.
+        """
+        self._global_step += 1
+        if not self.config.enabled or self._global_step % self.config.every_steps != 0:
+            return None
+        path = f"{self.prefix}/step{self._global_step:010d}.pt"
+        self.fs.create(path, 0)
+        started = self.sim.now
+        write = self.fs.write(path, int(self.config.nbytes))
+        self.checkpoints_written += 1
+        if self.config.synchronous:
+            write.add_callback(
+                lambda ev: self._account_stall(started) if ev.ok else None
+            )
+            return write
+        self._async_pending.append(write)
+        return None
+
+    def _account_stall(self, started: float) -> None:
+        self.sync_stall_time += self.sim.now - started
+
+    def drain(self) -> Event:
+        """Event completing once all in-flight async checkpoints land."""
+        pending = [ev for ev in self._async_pending if not ev.processed]
+        self._async_pending = []
+        return self.sim.all_of(pending)

@@ -1,0 +1,10 @@
+"""``repro.frameworks.pytorch`` — PyTorch DataLoader simulator.
+
+Provides :class:`TorchDataLoader`, modelling ``torch.utils.data.DataLoader``
+with 0..N worker processes, round-robin batch assignment, in-order
+consumption, and per-worker storage sessions (the PRISMA client seam).
+"""
+
+from .dataloader import PosixFactory, TorchDataLoader
+
+__all__ = ["PosixFactory", "TorchDataLoader"]

@@ -1,0 +1,20 @@
+"""``repro.frameworks.tensorflow`` — TensorFlow input-pipeline simulator.
+
+Provides the tf.data-like :class:`TFDataPipeline`, the paper's two setups
+(:func:`tf_baseline`, :func:`tf_optimized`), and the
+:class:`PrefetchAutotuner` port of TF's ``prefetch_autotuner.cc``.
+"""
+
+from .autotune import AutotunerMode, PrefetchAutotuner
+from .pipeline import TF_OPTIMIZED_THREADS, TFDataPipeline, tf_baseline, tf_optimized
+from .sharded import ShardedTFDataPipeline
+
+__all__ = [
+    "AutotunerMode",
+    "PrefetchAutotuner",
+    "ShardedTFDataPipeline",
+    "TFDataPipeline",
+    "TF_OPTIMIZED_THREADS",
+    "tf_baseline",
+    "tf_optimized",
+]

@@ -1,0 +1,79 @@
+"""Port of TensorFlow's prefetch auto-tuner.
+
+This mirrors the algorithm of
+``tensorflow/core/kernels/data/prefetch_autotuner.cc`` (the mechanism the
+paper cites as [48] and compares PRISMA's control algorithm against):
+
+* the buffer limit starts at 1 in **upswing** mode;
+* on every consumption, if the buffer is *full* (size reached the limit) the
+  tuner flips to **downswing** — supply has caught up, watch for depletion;
+* in downswing, if the buffer *empties*, the consumer outpaced the producer:
+  the limit **doubles** and the tuner returns to upswing.
+
+The limit therefore ratchets up in powers of two until the buffer stops
+oscillating between full and empty.  Tightly coupled to TF's internals in
+the original (the paper's §II "tightly coupled optimizations" critique),
+here it is a standalone object usable by any pipeline.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AutotunerMode(enum.Enum):
+    DISABLED = "disabled"
+    UPSWING = "upswing"
+    DOWNSWING = "downswing"
+
+
+class PrefetchAutotuner:
+    """Adaptive buffer-limit controller (TF ``PrefetchAutotuner`` semantics).
+
+    Parameters
+    ----------
+    initial_limit:
+        Starting buffer limit; TF uses 1 for ``AUTOTUNE``.
+    max_limit:
+        Safety cap on the doubling (TF bounds this by available RAM; the
+        simulation uses an explicit element cap).
+    enabled:
+        ``False`` reproduces a user-specified fixed buffer size (mode
+        ``kDisabled`` in TF): the limit never changes.
+    """
+
+    def __init__(self, initial_limit: int = 1, max_limit: int = 64, enabled: bool = True) -> None:
+        if initial_limit < 1:
+            raise ValueError("initial_limit must be >= 1")
+        if max_limit < initial_limit:
+            raise ValueError("max_limit must be >= initial_limit")
+        self._limit = initial_limit
+        self.max_limit = max_limit
+        self.mode = AutotunerMode.UPSWING if enabled else AutotunerMode.DISABLED
+        self.adjustments = 0
+
+    @property
+    def buffer_limit(self) -> int:
+        return self._limit
+
+    def record_consumption(self, current_buffer_size: int) -> None:
+        """Called with the element count observed at each consumer read."""
+        if current_buffer_size < 0:
+            raise ValueError("buffer size cannot be negative")
+        if self.mode is AutotunerMode.DISABLED:
+            return
+        if self.mode is AutotunerMode.UPSWING:
+            if current_buffer_size >= self._limit:
+                self.mode = AutotunerMode.DOWNSWING
+        elif self.mode is AutotunerMode.DOWNSWING:
+            if current_buffer_size == 0:
+                if self._limit < self.max_limit:
+                    self._limit = min(self._limit * 2, self.max_limit)
+                    self.adjustments += 1
+                self.mode = AutotunerMode.UPSWING
+
+    def __repr__(self) -> str:
+        return (
+            f"<PrefetchAutotuner limit={self._limit} mode={self.mode.value} "
+            f"adjustments={self.adjustments}>"
+        )

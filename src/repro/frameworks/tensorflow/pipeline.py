@@ -1,0 +1,272 @@
+"""tf.data-like input pipeline simulator.
+
+Reproduces the two TensorFlow setups of the paper's evaluation (§V-A):
+
+* **TF baseline** — "non-optimized deployment with single-threaded disk
+  operations without data prefetching": one reader thread, a sequentially
+  small amount of in-flight data (pull-driven stores of depth 1–2), no
+  prefetch buffer.
+* **TF optimized** — "disk I/O parallelism and prefetching optimizations,
+  managed by TensorFlow's auto-tuning mechanism": a pool of reader threads
+  (TF allocates its full intra-op budget — the paper observes 30 threads),
+  parallel map, and a prefetch stage whose buffer limit is governed by the
+  :class:`~repro.frameworks.tensorflow.autotune.PrefetchAutotuner` port.
+
+Stages are connected by bounded stores, exactly like tf.data's internal
+element queues::
+
+    readers (xR) -> raw_store -> mappers (xM) -> mapped_store
+                 -> batcher -> batch_store[prefetch] -> GetNext()
+
+All file reads go through a :class:`~repro.storage.posix.PosixLike`
+``read_whole`` — the single seam where PRISMA's data-plane stage is swapped
+in for the storage backend (the paper's 10-LoC TensorFlow integration).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ...dataset.catalog import DatasetCatalog
+from ...dataset.shuffle import EpochShuffler, SequentialOrder
+from ...simcore.event import Event
+from ...simcore.resources import Store
+from ...simcore.tracing import TimeWeightedGauge
+from ..models import ModelProfile
+from ..training import DataSource
+from .autotune import PrefetchAutotuner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...simcore.kernel import Simulator
+    from ...storage.posix import PosixLike
+
+#: Sentinel marking end-of-epoch inside inter-stage stores.
+_END = object()
+
+
+class TFDataPipeline(DataSource):
+    """A configurable tf.data-style pipeline serving batches of samples.
+
+    Parameters
+    ----------
+    reader_threads:
+        Parallel file readers (``num_parallel_reads``); 1 for the baseline.
+    map_threads:
+        Parallel preprocess workers (``map(..., num_parallel_calls)``).
+    prefetch:
+        ``None`` disables the prefetch stage (baseline: ``GetNext`` pulls
+        the next batch synchronously); an integer fixes the buffer size; the
+        string ``"autotune"`` enables the :class:`PrefetchAutotuner`.
+    stage_depth:
+        Capacity of the inter-stage element stores; small values keep the
+        baseline pull-like, larger ones let the optimized pipeline run ahead.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        catalog: DatasetCatalog,
+        shuffler: EpochShuffler | SequentialOrder,
+        batch_size: int,
+        posix: "PosixLike",
+        model: ModelProfile,
+        reader_threads: int = 1,
+        map_threads: int = 4,
+        prefetch: int | str | None = None,
+        prefetch_max: int = 64,
+        stage_depth: int = 2,
+        name: str = "tfdata",
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if reader_threads < 1:
+            raise ValueError("reader_threads must be >= 1")
+        if map_threads < 1:
+            raise ValueError("map_threads must be >= 1")
+        if stage_depth < 1:
+            raise ValueError("stage_depth must be >= 1")
+        self.sim = sim
+        self.catalog = catalog
+        self.shuffler = shuffler
+        self.batch_size = batch_size
+        self.posix = posix
+        self.model = model
+        self.reader_threads = reader_threads
+        self.map_threads = map_threads
+        self.stage_depth = stage_depth
+        self.name = name
+
+        self.autotuner: Optional[PrefetchAutotuner] = None
+        if prefetch is None:
+            self._batch_capacity = 1
+        elif prefetch == "autotune":
+            self.autotuner = PrefetchAutotuner(max_limit=prefetch_max)
+            self._batch_capacity = self.autotuner.buffer_limit
+        elif isinstance(prefetch, int):
+            if prefetch < 1:
+                raise ValueError("prefetch buffer must be >= 1 batch")
+            self._batch_capacity = prefetch
+        else:
+            raise ValueError(f"invalid prefetch spec {prefetch!r}")
+
+        #: threads currently blocked inside a storage read (paper Fig. 3)
+        self.active_readers = TimeWeightedGauge(sim, 0, name=f"{name}.active_readers")
+        self.samples_read = 0
+        self.bytes_read = 0
+
+        # Per-epoch state, rebuilt by begin_epoch.
+        self._raw_store: Optional[Store] = None
+        self._mapped_store: Optional[Store] = None
+        self._batch_store: Optional[Store] = None
+        self._epoch_order: Optional[List[int]] = None
+        self._cursor = 0
+
+    # -- epoch machinery -----------------------------------------------------------
+    def begin_epoch(self, epoch: int) -> None:
+        order = self.shuffler.order(epoch)
+        self._epoch_order = [int(i) for i in order]
+        self._cursor = 0
+        n = len(self._epoch_order)
+        self._raw_store = Store(self.sim, capacity=self.stage_depth, name=f"{self.name}.raw")
+        self._mapped_store = Store(self.sim, capacity=self.stage_depth, name=f"{self.name}.mapped")
+        self._batch_store = Store(self.sim, capacity=self._batch_capacity, name=f"{self.name}.batches")
+        for r in range(self.reader_threads):
+            self.sim.process(self._reader(), name=f"{self.name}.reader{r}")
+        for m in range(self.map_threads):
+            self.sim.process(self._mapper(), name=f"{self.name}.mapper{m}")
+        self.sim.process(self._batcher(n), name=f"{self.name}.batcher")
+
+    def _claim_index(self) -> Optional[int]:
+        """Atomically take the next sample index of the epoch order."""
+        assert self._epoch_order is not None
+        if self._cursor >= len(self._epoch_order):
+            return None
+        idx = self._epoch_order[self._cursor]
+        self._cursor += 1
+        return idx
+
+    def _reader(self):
+        assert self._raw_store is not None
+        while True:
+            idx = self._claim_index()
+            if idx is None:
+                return
+            path = self.catalog.path(idx)
+            self.active_readers.increment()
+            nbytes = yield self.posix.read_whole(path)
+            self.active_readers.decrement()
+            self.samples_read += 1
+            self.bytes_read += nbytes
+            yield self._raw_store.put(idx)
+
+    def _mapper(self):
+        raw, mapped = self._raw_store, self._mapped_store
+        assert raw is not None and mapped is not None
+        cost = self.model.preprocess_time_per_image
+        while True:
+            item = yield raw.get()
+            if item is _END:
+                yield raw.put(_END)  # re-broadcast so sibling mappers stop
+                return
+            if cost > 0:
+                yield self.sim.timeout(cost)
+            yield mapped.put(item)
+
+    def _batcher(self, total_samples: int):
+        mapped, batches = self._mapped_store, self._batch_store
+        assert mapped is not None and batches is not None
+        remaining = total_samples
+        while remaining > 0:
+            take = min(self.batch_size, remaining)
+            for _ in range(take):
+                yield mapped.get()
+            remaining -= take
+            yield batches.put(take)
+        yield batches.put(_END)
+        # Wake the mappers so they exit instead of idling forever.
+        assert self._raw_store is not None
+        yield self._raw_store.put(_END)
+
+    # -- DataSource API -----------------------------------------------------------
+    def next_batch(self) -> Event:
+        assert self._batch_store is not None, "begin_epoch() not called"
+        if self.autotuner is not None:
+            self.autotuner.record_consumption(self._batch_store.level)
+            if self.autotuner.buffer_limit != self._batch_capacity:
+                self._batch_capacity = self.autotuner.buffer_limit
+                self._batch_store.set_capacity(self._batch_capacity)
+        done = Event(self.sim, name=f"{self.name}.next")
+        inner = self._batch_store.get()
+
+        def deliver(ev: Event) -> None:
+            if not ev.ok:
+                done.fail(ev.exception)
+            elif ev._value is _END:
+                done.succeed(None)
+            else:
+                done.succeed(ev._value)
+
+        inner.add_callback(deliver)
+        return done
+
+    def end_epoch(self) -> None:
+        self._raw_store = None
+        self._mapped_store = None
+        self._batch_store = None
+        self._epoch_order = None
+
+
+def tf_baseline(
+    sim: "Simulator",
+    catalog: DatasetCatalog,
+    shuffler: EpochShuffler | SequentialOrder,
+    batch_size: int,
+    posix: "PosixLike",
+    model: ModelProfile,
+    name: str = "tf-baseline",
+) -> TFDataPipeline:
+    """The paper's *TF baseline*: 1 reader, no prefetch."""
+    return TFDataPipeline(
+        sim,
+        catalog,
+        shuffler,
+        batch_size,
+        posix,
+        model,
+        reader_threads=1,
+        map_threads=4,
+        prefetch=None,
+        stage_depth=2,
+        name=name,
+    )
+
+
+#: TF's intra-op thread budget observed by the paper (Fig. 3: "allocates the
+#: maximum number of threads (i.e., 30) regardless of whether they are
+#: needed").
+TF_OPTIMIZED_THREADS = 30
+
+
+def tf_optimized(
+    sim: "Simulator",
+    catalog: DatasetCatalog,
+    shuffler: EpochShuffler | SequentialOrder,
+    batch_size: int,
+    posix: "PosixLike",
+    model: ModelProfile,
+    name: str = "tf-optimized",
+) -> TFDataPipeline:
+    """The paper's *TF optimized*: parallel I/O + autotuned prefetching."""
+    return TFDataPipeline(
+        sim,
+        catalog,
+        shuffler,
+        batch_size,
+        posix,
+        model,
+        reader_threads=TF_OPTIMIZED_THREADS,
+        map_threads=TF_OPTIMIZED_THREADS,
+        prefetch="autotune",
+        stage_depth=2 * TF_OPTIMIZED_THREADS,
+        name=name,
+    )

@@ -1,0 +1,180 @@
+"""Record-sharded input pipeline (TFRecord-style).
+
+The paper's §II lists "optimized data formats" (TFRecord, [49]) among the
+framework-intrinsic storage optimizations that motivate decoupling: packing
+samples into large shard files converts millions of small random reads into
+few large sequential ones, but requires converting (and re-shuffling) the
+dataset offline and is TensorFlow-specific.
+
+:class:`ShardedTFDataPipeline` models that approach: readers claim whole
+*shards* (shuffling happens at shard granularity, exactly TFRecord
+practice), stream each shard with one large read, then emit its samples
+downstream.  The format-ablation benchmark compares it against
+file-per-sample — with and without PRISMA — quantifying how much of the
+format's benefit the decoupled prefetcher delivers *without* touching the
+dataset.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ...dataset.formats import ShardedDataset
+from ...dataset.shuffle import EpochShuffler, SequentialOrder
+from ...simcore.event import Event
+from ...simcore.resources import Store
+from ...simcore.tracing import TimeWeightedGauge
+from ..models import ModelProfile
+from ..training import DataSource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...simcore.kernel import Simulator
+    from ...storage.posix import PosixLike
+
+_END = object()
+
+
+class ShardedTFDataPipeline(DataSource):
+    """Batches from record shards: shard-granular shuffle, sequential reads."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        sharded: ShardedDataset,
+        shard_shuffler: EpochShuffler | SequentialOrder,
+        batch_size: int,
+        posix: "PosixLike",
+        model: ModelProfile,
+        reader_threads: int = 1,
+        map_threads: int = 4,
+        prefetch_batches: int = 1,
+        name: str = "tfrecord",
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if reader_threads < 1 or map_threads < 1:
+            raise ValueError("thread counts must be >= 1")
+        if prefetch_batches < 1:
+            raise ValueError("prefetch_batches must be >= 1")
+        if shard_shuffler.n != len(sharded.shards):
+            raise ValueError(
+                f"shuffler covers {shard_shuffler.n} items but the dataset "
+                f"has {len(sharded.shards)} shards — shuffle shards, not samples"
+            )
+        self.sim = sim
+        self.sharded = sharded
+        self.shard_shuffler = shard_shuffler
+        self.batch_size = batch_size
+        self.posix = posix
+        self.model = model
+        self.reader_threads = reader_threads
+        self.map_threads = map_threads
+        self.prefetch_batches = prefetch_batches
+        self.name = name
+
+        self.active_readers = TimeWeightedGauge(sim, 0, name=f"{name}.active_readers")
+        self.samples_read = 0
+        self.bytes_read = 0
+        self.shards_read = 0
+
+        self._shard_order: Optional[List[int]] = None
+        self._cursor = 0
+        self._raw_store: Optional[Store] = None
+        self._sample_store: Optional[Store] = None
+        self._batch_store: Optional[Store] = None
+        # samples per shard, precomputed once
+        self._shard_samples: List[int] = [0] * len(sharded.shards)
+        for entry in sharded.index:
+            self._shard_samples[entry.shard_index] += 1
+
+    # -- epoch machinery -----------------------------------------------------------
+    def begin_epoch(self, epoch: int) -> None:
+        self._shard_order = [int(i) for i in self.shard_shuffler.order(epoch)]
+        self._cursor = 0
+        self._raw_store = Store(
+            self.sim, capacity=4 * self.batch_size, name=f"{self.name}.raw"
+        )
+        self._sample_store = Store(
+            self.sim, capacity=4 * self.batch_size, name=f"{self.name}.samples"
+        )
+        self._batch_store = Store(
+            self.sim, capacity=self.prefetch_batches, name=f"{self.name}.batches"
+        )
+        for r in range(self.reader_threads):
+            self.sim.process(self._reader(), name=f"{self.name}.reader{r}")
+        for m in range(self.map_threads):
+            self.sim.process(self._mapper(), name=f"{self.name}.mapper{m}")
+        total = len(self.sharded)
+        self.sim.process(self._batcher(total), name=f"{self.name}.batcher")
+
+    def _claim_shard(self) -> Optional[int]:
+        assert self._shard_order is not None
+        if self._cursor >= len(self._shard_order):
+            return None
+        shard = self._shard_order[self._cursor]
+        self._cursor += 1
+        return shard
+
+    def _reader(self):
+        raw_store = self._raw_store
+        assert raw_store is not None
+        while True:
+            shard = self._claim_shard()
+            if shard is None:
+                return
+            path = self.sharded.shards.path(shard)
+            self.active_readers.increment()
+            nbytes = yield self.posix.read_whole(path)
+            self.active_readers.decrement()
+            self.shards_read += 1
+            self.bytes_read += nbytes
+            # Fan the shard's records out to the parallel decode stage.
+            for _ in range(self._shard_samples[shard]):
+                self.samples_read += 1
+                yield raw_store.put(1)
+
+    def _mapper(self):
+        raw_store, sample_store = self._raw_store, self._sample_store
+        assert raw_store is not None and sample_store is not None
+        cost = self.model.preprocess_time_per_image
+        while True:
+            item = yield raw_store.get()
+            if item is _END:
+                yield raw_store.put(_END)  # re-broadcast to sibling mappers
+                return
+            if cost > 0:
+                yield self.sim.timeout(cost)
+            yield sample_store.put(1)
+
+    def _batcher(self, total_samples: int):
+        sample_store, batch_store = self._sample_store, self._batch_store
+        assert sample_store is not None and batch_store is not None
+        remaining = total_samples
+        while remaining > 0:
+            take = min(self.batch_size, remaining)
+            for _ in range(take):
+                yield sample_store.get()
+            remaining -= take
+            yield batch_store.put(take)
+        yield batch_store.put(_END)
+        # Wake the mappers so they exit instead of idling forever.
+        assert self._raw_store is not None
+        yield self._raw_store.put(_END)
+
+    # -- DataSource API -----------------------------------------------------------
+    def next_batch(self) -> Event:
+        assert self._batch_store is not None, "begin_epoch() not called"
+        done = Event(self.sim, name=f"{self.name}.next")
+        inner = self._batch_store.get()
+        inner.add_callback(
+            lambda ev: done.succeed(None if ev._value is _END else ev._value)
+            if ev.ok
+            else done.fail(ev.exception)
+        )
+        return done
+
+    def end_epoch(self) -> None:
+        self._shard_order = None
+        self._raw_store = None
+        self._sample_store = None
+        self._batch_store = None

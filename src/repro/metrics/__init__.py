@@ -1,0 +1,35 @@
+"""``repro.metrics`` — measurement post-processing.
+
+Run statistics matching the paper's methodology (:mod:`.summary`) and the
+time-weighted CDF machinery behind Figure 3 (:mod:`.cdf`).
+"""
+
+from .cdf import DiscreteCDF, cdf_from_histogram, empirical_cdf, thread_usage_ratio
+from .timeseries import LatencyRecorder, LatencySummary, bin_rate, percentile_table
+from .summary import (
+    Comparison,
+    RunStats,
+    aggregate_by_key,
+    jain_fairness,
+    reduction_percent,
+    run_stats,
+    speedup,
+)
+
+__all__ = [
+    "Comparison",
+    "DiscreteCDF",
+    "LatencyRecorder",
+    "LatencySummary",
+    "RunStats",
+    "aggregate_by_key",
+    "bin_rate",
+    "cdf_from_histogram",
+    "empirical_cdf",
+    "jain_fairness",
+    "percentile_table",
+    "reduction_percent",
+    "run_stats",
+    "speedup",
+    "thread_usage_ratio",
+]

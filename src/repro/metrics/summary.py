@@ -1,0 +1,97 @@
+"""Run-level statistics: mean/std over repeated seeded runs.
+
+The paper reports "the average and standard deviation of 5 runs" (§V); the
+harness mirrors that by re-running each configuration under different root
+seeds and aggregating with these helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Mean / std / extremes of one measured quantity across runs."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f} ± {self.std:.1f} (n={self.n})"
+
+
+def run_stats(values: Sequence[float]) -> RunStats:
+    """Sample statistics (ddof=1 std, matching the paper's error bars)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("run_stats requires at least one value")
+    n = len(vals)
+    mean = sum(vals) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in vals) / (n - 1)
+        std = math.sqrt(var)
+    else:
+        std = 0.0
+    return RunStats(mean=mean, std=std, minimum=min(vals), maximum=max(vals), n=n)
+
+
+def reduction_percent(baseline: float, improved: float) -> float:
+    """The paper's headline metric: % training-time reduction vs baseline."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return (1.0 - improved / baseline) * 100.0
+
+
+def speedup(baseline: float, improved: float) -> float:
+    if improved <= 0:
+        raise ValueError("improved time must be positive")
+    return baseline / improved
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Measured-vs-paper record for EXPERIMENTS.md."""
+
+    label: str
+    paper_value: float
+    measured_value: float
+    unit: str = "s"
+
+    @property
+    def relative_error(self) -> float:
+        if self.paper_value == 0:
+            return math.inf
+        return (self.measured_value - self.paper_value) / self.paper_value
+
+    def row(self) -> str:
+        return (
+            f"{self.label}: paper={self.paper_value:.0f}{self.unit} "
+            f"measured={self.measured_value:.0f}{self.unit} "
+            f"({self.relative_error:+.0%})"
+        )
+
+
+def jain_fairness(values: Iterable[float]) -> float:
+    """Jain's fairness index over per-tenant allocations (1.0 = equal)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("fairness of an empty allocation is undefined")
+    num = sum(vals) ** 2
+    den = len(vals) * sum(v * v for v in vals)
+    if den == 0:
+        return 1.0
+    return num / den
+
+
+def aggregate_by_key(rows: List[Dict[str, object]], key: str, value: str) -> Dict[object, RunStats]:
+    """Group ``rows`` by ``row[key]`` and summarize ``row[value]``."""
+    groups: Dict[object, List[float]] = {}
+    for row in rows:
+        groups.setdefault(row[key], []).append(float(row[value]))  # type: ignore[arg-type]
+    return {k: run_stats(v) for k, v in groups.items()}

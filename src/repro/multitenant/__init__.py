@@ -1,0 +1,18 @@
+"""``repro.multitenant`` — shared-storage, multi-job scenarios.
+
+Implements the paper's system-wide-visibility motivation (§II) and its
+§VII research directions: N tenants over one backend
+(:class:`SharedStorageCluster`) under independent vs globally coordinated
+control, with fairness and priority policies (:mod:`.fairness`).
+"""
+
+from .cluster import ClusterResult, SharedStorageCluster, TenantJob
+from .fairness import FairShareGlobalPolicy, PriorityGlobalPolicy
+
+__all__ = [
+    "ClusterResult",
+    "FairShareGlobalPolicy",
+    "PriorityGlobalPolicy",
+    "SharedStorageCluster",
+    "TenantJob",
+]

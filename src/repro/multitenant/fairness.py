@@ -1,0 +1,133 @@
+"""Cluster-wide control policies (the paper's §VII research directions).
+
+These are :class:`~repro.core.control.controller.GlobalPolicy`
+implementations — control logic that *requires* the SDS architecture,
+because it decides over every tenant's data plane at once:
+
+* :class:`FairShareGlobalPolicy` — divides a cluster-wide producer-thread
+  budget among tenants; starving tenants receive the shares idle tenants
+  don't use.  This is the "performance isolation and resource fairness"
+  direction of §VII.
+* :class:`PriorityGlobalPolicy` — strict priority tiers: high-priority jobs
+  are provisioned first, best-effort jobs share what remains ("prioritize
+  workloads", §III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..core.control.controller import GlobalPolicy
+from ..core.control.monitor import MetricsHistory
+from ..core.optimization import TuningSettings
+
+
+def _demand_estimate(history: MetricsHistory) -> float:
+    """A tenant's I/O appetite: recent starvation × activity.
+
+    Starving tenants with real traffic score high; idle or compute-bound
+    tenants score ~0 and can safely lend their share.
+    """
+    latest, prev = history.latest, history.previous
+    if latest is None or latest.queue_remaining == 0:
+        return 0.0
+    starvation = latest.starvation(prev)
+    requests = latest.requests - (prev.requests if prev else 0.0)
+    if requests <= 0:
+        return 0.0
+    return max(starvation, 0.01)
+
+
+@dataclass
+class FairShareGlobalPolicy(GlobalPolicy):
+    """Max-min fair division of ``total_producer_budget`` across tenants.
+
+    Each active tenant starts from an equal share; shares unused by
+    low-demand tenants are redistributed to starving ones, bounded by
+    ``per_job_cap``.  Every tenant always keeps at least one producer so no
+    job is starved outright.
+    """
+
+    total_producer_budget: int = 16
+    per_job_cap: int = 8
+
+    def __post_init__(self) -> None:
+        if self.total_producer_budget < 1:
+            raise ValueError("budget must be >= 1")
+        if self.per_job_cap < 1:
+            raise ValueError("per_job_cap must be >= 1")
+
+    def decide_all(self, histories: Dict[str, MetricsHistory]) -> Dict[str, TuningSettings]:
+        active = {
+            name: h for name, h in histories.items() if h.latest is not None
+        }
+        if not active:
+            return {}
+        demands = {name: _demand_estimate(h) for name, h in active.items()}
+        allocation = self._allocate(demands)
+        decisions: Dict[str, TuningSettings] = {}
+        for name, target in allocation.items():
+            latest = active[name].latest
+            assert latest is not None
+            if latest.producers_allocated != target and latest.queue_remaining > 0:
+                decisions[name] = TuningSettings(producers=target)
+        return decisions
+
+    def _allocate(self, demands: Dict[str, float]) -> Dict[str, int]:
+        """Water-filling: equal shares, redistribute unneeded capacity."""
+        names = list(demands)
+        n = len(names)
+        base = max(self.total_producer_budget // n, 1)
+        allocation = {name: 1 for name in names}
+        budget = self.total_producer_budget - n  # the guaranteed minimum
+        if budget <= 0:
+            return allocation
+        # Starving tenants queue for extra shares proportional to demand.
+        starving = [name for name in names if demands[name] > 0.05]
+        calm = [name for name in names if name not in starving]
+        # Calm tenants get up to the equal share only if they show traffic.
+        for name in calm:
+            extra = min(base - 1, budget) if demands[name] > 0 else 0
+            allocation[name] += extra
+            budget -= extra
+        # Starving tenants round-robin the remainder up to the cap.
+        while budget > 0 and starving:
+            progressed = False
+            for name in starving:
+                if budget == 0:
+                    break
+                if allocation[name] < self.per_job_cap:
+                    allocation[name] += 1
+                    budget -= 1
+                    progressed = True
+            if not progressed:
+                break
+        return allocation
+
+
+@dataclass
+class PriorityGlobalPolicy(GlobalPolicy):
+    """Strict two-tier priority: listed tenants are provisioned first."""
+
+    high_priority: Sequence[str] = ()
+    total_producer_budget: int = 16
+    high_priority_producers: int = 6
+    best_effort_cap: int = 2
+
+    def decide_all(self, histories: Dict[str, MetricsHistory]) -> Dict[str, TuningSettings]:
+        decisions: Dict[str, TuningSettings] = {}
+        budget = self.total_producer_budget
+        for name, history in histories.items():
+            latest = history.latest
+            if latest is None or latest.queue_remaining == 0:
+                continue
+            if name in self.high_priority:
+                target = min(self.high_priority_producers, budget)
+            else:
+                target = min(self.best_effort_cap, max(budget, 1))
+            target = max(target, 1)
+            budget = max(budget - target, 0)
+            if latest.producers_allocated != target:
+                decisions[name] = TuningSettings(producers=target)
+        return decisions

@@ -1,0 +1,66 @@
+"""``repro.simcore`` — a dependency-free discrete-event simulation kernel.
+
+The kernel is the substrate for every simulated component in this
+reproduction (storage devices, DL framework pipelines, the PRISMA data and
+control planes).  It provides:
+
+* :class:`Simulator` — the event loop and clock.
+* :class:`Process` — generator-based cooperative processes.
+* Events: :class:`Event`, :class:`Timeout`, :class:`AnyOf`, :class:`AllOf`.
+* Resources: :class:`Store`, :class:`FilterStore`, :class:`Resource`,
+  :class:`Lock`, :class:`Container`.
+* Telemetry: :class:`Tracer`, :class:`TimeWeightedGauge`, :class:`CounterSet`.
+* :class:`RandomStreams` — named deterministic RNG streams.
+"""
+
+from .errors import (
+    EventAlreadyTriggered,
+    Interrupt,
+    ProcessError,
+    SchedulingError,
+    SimulationError,
+    StopSimulation,
+)
+from .event import AllOf, AnyOf, Event, Timeout
+from .kernel import Process, Simulator
+from .random import RandomStreams
+from .resources import (
+    Container,
+    FilterStore,
+    Lock,
+    Resource,
+    ResourceRequest,
+    Store,
+    StoreGet,
+    StorePut,
+)
+from .tracing import CounterSet, GaugeSample, TimeWeightedGauge, Tracer, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "CounterSet",
+    "Event",
+    "EventAlreadyTriggered",
+    "FilterStore",
+    "GaugeSample",
+    "Interrupt",
+    "Lock",
+    "Process",
+    "ProcessError",
+    "RandomStreams",
+    "Resource",
+    "ResourceRequest",
+    "SchedulingError",
+    "SimulationError",
+    "Simulator",
+    "StopSimulation",
+    "Store",
+    "StoreGet",
+    "StorePut",
+    "Timeout",
+    "TimeWeightedGauge",
+    "TraceRecord",
+    "Tracer",
+]

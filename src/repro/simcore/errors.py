@@ -1,0 +1,58 @@
+"""Exception hierarchy for the discrete-event simulation kernel.
+
+Every error raised by :mod:`repro.simcore` derives from
+:class:`SimulationError`, so callers embedding a simulation inside a larger
+application can catch one base class.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in an invalid way.
+
+    Examples: negative delay, re-scheduling an already triggered event, or
+    scheduling onto a simulator that has been torn down.
+    """
+
+
+class EventAlreadyTriggered(SchedulingError):
+    """``succeed``/``fail`` was called on an event that already fired."""
+
+
+class StopSimulation(SimulationError):
+    """Raised internally to halt :meth:`Simulator.run` early.
+
+    User processes may raise it (or call :meth:`Simulator.stop`) to end the
+    run from inside the event loop; ``run()`` catches it and returns.
+    """
+
+
+class Interrupt(SimulationError):
+    """Thrown *into* a process that another process interrupted.
+
+    The interrupting party supplies ``cause`` which the victim can inspect::
+
+        try:
+            yield sim.timeout(10.0)
+        except Interrupt as exc:
+            log("interrupted because", exc.cause)
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class ProcessError(SimulationError):
+    """A process being waited upon terminated with an exception.
+
+    The original exception is available as ``__cause__``.
+    """

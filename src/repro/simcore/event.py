@@ -1,0 +1,206 @@
+"""Events: the unit of coordination in the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence that processes may wait on by
+``yield``-ing it.  Events carry a *value* (delivered to every waiter) or an
+exception (re-raised in every waiter).  They are deliberately minimal — all
+higher-level synchronization (timeouts, stores, locks, process joins) is built
+from this single primitive, mirroring the architecture of SimPy while staying
+dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from .errors import EventAlreadyTriggered
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import Simulator
+
+#: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence with a value or an exception.
+
+    Lifecycle::
+
+        e = Event(sim)        # pending
+        e.succeed(value)      # triggered OK   -> waiters resume with value
+        e.fail(exc)           # triggered FAIL -> waiters get exc re-raised
+
+    Once triggered an event is immutable; triggering twice raises
+    :class:`EventAlreadyTriggered`.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_scheduled", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        #: Callables invoked with this event when it is processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._exception: Optional[BaseException] = None
+        self._scheduled = False
+        self.name = name
+
+    # -- state inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once ``succeed``/``fail`` has been called."""
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event left the queue)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully (not failed)."""
+        if not self.triggered:
+            raise ValueError(f"{self!r} has not been triggered")
+        return self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The success value, or raise the failure exception."""
+        if self._exception is not None:
+            raise self._exception
+        if self._value is _PENDING:
+            raise ValueError(f"{self!r} has no value yet")
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger successfully with ``value`` and enqueue for processing."""
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._value = value
+        self.sim._enqueue_now(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger with an exception; waiters will have it re-raised."""
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._value = None
+        self.sim._enqueue_now(self)
+        return self
+
+    # -- waiting ------------------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn(event)`` to run when the event is processed.
+
+        If the event was already processed the callback runs immediately —
+        this keeps late joiners correct.
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _process(self) -> None:
+        """Run callbacks (kernel-internal)."""
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state} at t={self.sim.now:.6g}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after ``delay`` sim-time units.
+
+    The timeout only *triggers* (becomes observable via :attr:`triggered`)
+    when the clock reaches it — not at construction — so condition events
+    like :class:`AnyOf` see an accurate picture of which waits completed.
+    """
+
+    __slots__ = ("delay", "_pending_value")
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            from .errors import SchedulingError
+
+            raise SchedulingError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = float(delay)
+        self._pending_value = value
+        self.sim._enqueue_at(self.sim.now + self.delay, self)
+
+    def _process(self) -> None:
+        self._value = self._pending_value
+        super()._process()
+
+
+class AnyOf(Event):
+    """Triggers as soon as *any* of the given events triggers.
+
+    Value is a dict mapping the events that have triggered so far to their
+    values (like SimPy's condition value).
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: List[Event]) -> None:
+        super().__init__(sim, name=f"any_of[{len(events)}]")
+        self.events = list(events)
+        if not self.events:
+            self._value = {}
+            sim._enqueue_now(self)
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.exception)  # propagate first failure
+            return
+        self.succeed({e: e._value for e in self.events if e.triggered and e.ok})
+
+
+class AllOf(Event):
+    """Triggers once *all* of the given events have triggered.
+
+    Value is a dict of event -> value for every child.
+    """
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: List[Event]) -> None:
+        super().__init__(sim, name=f"all_of[{len(events)}]")
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            self._value = {}
+            sim._enqueue_now(self)
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({e: e._value for e in self.events})

@@ -1,0 +1,264 @@
+"""The simulation kernel: event loop, processes, and the simulator facade.
+
+The kernel implements cooperative, generator-based processes scheduled by a
+binary-heap event queue.  Time is a float in *seconds* by convention of this
+repository (storage latencies are microseconds = 1e-6).
+
+Determinism: the heap orders by ``(time, sequence)``, where ``sequence`` is a
+monotonically increasing integer, so same-time events are processed in
+scheduling order.  Combined with the seeded RNG streams in
+:mod:`repro.simcore.random`, whole experiments replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from .errors import (
+    Interrupt,
+    ProcessError,
+    SchedulingError,
+    StopSimulation,
+)
+from .event import AllOf, AnyOf, Event, Timeout
+
+#: Type alias for process generator functions.
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running process; it is also an event that triggers on termination.
+
+    A process wraps a generator that yields :class:`Event` instances.  When a
+    yielded event triggers, the process resumes with the event's value (or the
+    event's exception thrown in).  When the generator returns, the process
+    event succeeds with the return value; if it raises, the process fails.
+
+    Waiting on a process (``yield other_process``) therefore joins it.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "_interrupts", "_started")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "") -> None:
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        #: The event this process is currently suspended on (None if runnable).
+        self._waiting_on: Optional[Event] = None
+        self._interrupts: List[Interrupt] = []
+        #: Interrupts may only be *delivered* once the generator has reached
+        #: its first yield — throwing into an unstarted generator would
+        #: raise at the def line, outside any try/except in the body.
+        self._started = False
+        # Bootstrap: resume the generator at time `now`.
+        boot = Event(sim, name=f"boot:{self.name}")
+        boot.callbacks.append(self._resume)
+        boot._value = None
+        sim._enqueue_now(boot)
+
+    @property
+    def is_alive(self) -> bool:
+        """True until the underlying generator has finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a dead process is an error.  Interrupting a process that
+        is already scheduled to resume queues the interrupt to be delivered
+        at that resumption.
+        """
+        if not self.is_alive:
+            raise SchedulingError(f"cannot interrupt dead process {self.name!r}")
+        interrupt = Interrupt(cause)
+        self._interrupts.append(interrupt)
+        target = self._waiting_on
+        if target is not None:
+            # Detach from the event we were waiting on, resume immediately.
+            self._waiting_on = None
+            if target.callbacks is not None and self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+            wake = Event(self.sim, name=f"interrupt:{self.name}")
+            wake.callbacks.append(self._resume)
+            wake._value = None
+            self.sim._enqueue_now(wake)
+
+    # -- kernel internals ----------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            while True:
+                if self._interrupts and self._started:
+                    exc: BaseException = self._interrupts.pop(0)
+                    target = self.generator.throw(exc)
+                elif event is not None and event._exception is not None:
+                    target = self.generator.throw(event._exception)
+                else:
+                    target = self.generator.send(event._value if event is not None else None)
+                    self._started = True
+                # The generator yielded `target`; decide whether to suspend.
+                if not isinstance(target, Event):
+                    raise TypeError(
+                        f"process {self.name!r} yielded {target!r}; processes "
+                        "must yield Event instances"
+                    )
+                if self._interrupts:
+                    # An interrupt arrived before the process could suspend:
+                    # deliver it at this yield point.
+                    event = None
+                    continue
+                if target.processed:
+                    # Already-processed event: continue synchronously.
+                    event = target
+                    continue
+                self._waiting_on = target
+                target.add_callback(self._resume)
+                return
+        except StopIteration as stop:
+            self.succeed(stop.value)
+        except StopSimulation:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - process bodies may raise anything
+            # Process died: propagate to joiners, or abort the run when nobody
+            # is listening (silent failures hide bugs).
+            self._exception_terminate(exc)
+        finally:
+            self.sim._active_process = None
+
+    def _exception_terminate(self, exc: BaseException) -> None:
+        err = ProcessError(f"process {self.name!r} failed: {exc!r}")
+        err.__cause__ = exc
+        if self.callbacks:
+            self.fail(err)
+        else:
+            self.fail(err)
+            # No joiner will ever observe this failure — crash the simulation
+            # so the bug surfaces instead of silently losing a process.
+            self.sim._defunct.append(err)
+
+
+class Simulator:
+    """Discrete-event simulator facade.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim, wid):
+            yield sim.timeout(1.0)
+            return wid * 2
+
+        p = sim.process(worker(sim, 21))
+        sim.run()
+        assert p.value == 42
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now: float = float(start_time)
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self._defunct: List[ProcessError] = []
+        self._stopping = False
+
+    # -- scheduling primitives (kernel-internal) ------------------------------
+    def _enqueue_at(self, time: float, event: Event) -> None:
+        if time < self.now:
+            raise SchedulingError(
+                f"cannot schedule at t={time} before now={self.now}"
+            )
+        if event._scheduled:
+            raise SchedulingError(f"{event!r} is already scheduled")
+        event._scheduled = True
+        heapq.heappush(self._heap, (time, self._seq, event))
+        self._seq += 1
+
+    def _enqueue_now(self, event: Event) -> None:
+        self._enqueue_at(self.now, event)
+
+    # -- event factories -------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """A fresh untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event triggering ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process from a generator; returns its join-event."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, list(events))
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, list(events))
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing (None outside process context)."""
+        return self._active_process
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopping = True
+
+    # -- event loop -------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next event, or ``float('inf')`` if the queue is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._heap:
+            raise SchedulingError("step() on an empty event queue")
+        time, _, event = heapq.heappop(self._heap)
+        self.now = time
+        event._process()
+        if self._defunct:
+            raise self._defunct.pop(0)
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, ``until`` time passes, or event fires.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain.
+        * a float — run until simulated time reaches it (clock is advanced to
+          exactly ``until`` even if no event lands there).
+        * an :class:`Event` — run until it triggers; returns its value.
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self.now:
+                raise SchedulingError(f"run(until={stop_time}) is in the past")
+
+        self._stopping = False
+        try:
+            while self._heap:
+                if stop_event is not None and stop_event.triggered:
+                    return stop_event.value
+                if stop_time is not None and self.peek() > stop_time:
+                    self.now = stop_time
+                    return None
+                if self._stopping:
+                    return None
+                self.step()
+        except StopSimulation:
+            return None
+        if stop_event is not None:
+            if stop_event.triggered:
+                return stop_event.value
+            raise SchedulingError(
+                "run(until=event) exhausted the queue before the event fired"
+            )
+        if stop_time is not None:
+            self.now = stop_time
+        return None

@@ -1,0 +1,388 @@
+"""Synchronization and queueing resources built on the event kernel.
+
+Provides the building blocks the storage and framework simulators need:
+
+* :class:`Store` — bounded FIFO of items (producer/consumer buffer).
+* :class:`FilterStore` — like ``Store`` but ``get`` takes a predicate; used
+  to model keyed buffers (a consumer waits for a *specific* file).
+* :class:`Resource` — counted semaphore with FIFO queuing and usage stats.
+* :class:`Lock` — a 1-capacity resource with wait-time accounting, so
+  contention (e.g., PRISMA's shared-buffer lock under many PyTorch workers)
+  can be both *modelled* and *measured*.
+* :class:`Container` — continuous level (bytes of memory, tokens).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional
+
+from .errors import SimulationError
+from .event import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import Simulator
+
+
+class StorePut(Event):
+    """Pending ``put`` request; triggers when the item is accepted."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.sim, name=f"put:{store.name}")
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending ``get`` request; triggers with the retrieved item."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]] = None) -> None:
+        super().__init__(store.sim, name=f"get:{store.name}")
+        self.predicate = predicate
+
+
+class Store:
+    """Bounded FIFO store of discrete items.
+
+    ``put(item)`` returns an event that triggers once capacity allows the
+    item in; ``get()`` returns an event that triggers with the oldest item.
+    Both queue FIFO, giving fair producer/consumer semantics.
+
+    Stats: ``peak_items`` and time-weighted ``area`` (item-seconds) enable
+    occupancy analysis, which PRISMA's control loop consumes.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf"), name: str = "store") -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
+        # occupancy statistics
+        self.peak_items = 0
+        self._area = 0.0
+        self._last_change = sim.now
+
+    # -- statistics -----------------------------------------------------------
+    def _account(self) -> None:
+        now = self.sim.now
+        self._area += len(self.items) * (now - self._last_change)
+        self._last_change = now
+
+    def mean_occupancy(self) -> float:
+        """Time-averaged number of items since creation."""
+        self._account()
+        elapsed = self.sim.now  # relative to t=0 by convention
+        if elapsed <= 0:
+            return float(len(self.items))
+        return self._area / elapsed
+
+    @property
+    def level(self) -> int:
+        return len(self.items)
+
+    def set_capacity(self, capacity: float) -> None:
+        """Retarget the capacity at runtime (auto-tuned buffers).
+
+        Raising the capacity admits queued putters immediately; lowering it
+        never evicts — the store simply blocks new puts until consumption
+        drains below the new limit.
+        """
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._dispatch()
+
+    # -- operations -------------------------------------------------------------
+    def put(self, item: Any) -> StorePut:
+        event = StorePut(self, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self) -> StoreGet:
+        event = StoreGet(self)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _try_put(self, event: StorePut) -> bool:
+        if len(self.items) < self.capacity:
+            self._account()
+            self.items.append(event.item)
+            self.peak_items = max(self.peak_items, len(self.items))
+            event.succeed()
+            return True
+        return False
+
+    def _try_get(self, event: StoreGet) -> bool:
+        if self.items:
+            self._account()
+            event.succeed(self.items.popleft())
+            return True
+        return False
+
+    def _dispatch(self) -> None:
+        """Match queued putters/getters until no progress is possible."""
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and self._try_put(self._putters[0]):
+                self._putters.popleft()
+                progress = True
+            while self._getters and self._try_get(self._getters[0]):
+                self._getters.popleft()
+                progress = True
+
+    def __repr__(self) -> str:
+        return (
+            f"<Store {self.name!r} {len(self.items)}/{self.capacity} "
+            f"putq={len(self._putters)} getq={len(self._getters)}>"
+        )
+
+
+class FilterStore(Store):
+    """Store whose ``get`` may demand a specific item via a predicate.
+
+    Getters scan the buffer for the first matching item.  Non-matching
+    getters stay queued without blocking others (each getter is evaluated
+    independently) — this models a keyed prefetch buffer where consumer *i*
+    waits for file *i* regardless of arrival order.
+    """
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> StoreGet:  # type: ignore[override]
+        event = StoreGet(self, predicate)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _try_get(self, event: StoreGet) -> bool:
+        if event.predicate is None:
+            return super()._try_get(event)
+        for idx, item in enumerate(self.items):
+            if event.predicate(item):
+                self._account()
+                del self.items[idx]
+                event.succeed(item)
+                return True
+        return False
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and self._try_put(self._putters[0]):
+                self._putters.popleft()
+                progress = True
+            # Unlike the FIFO store, evaluate *every* getter: a later getter
+            # may match while an earlier one keeps waiting.
+            remaining: Deque[StoreGet] = deque()
+            for getter in self._getters:
+                if self._try_get(getter):
+                    progress = True
+                else:
+                    remaining.append(getter)
+            self._getters = remaining
+
+
+class ResourceRequest(Event):
+    """Pending acquisition of a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "_issued_at")
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.sim, name=f"req:{resource.name}")
+        self.resource = resource
+        self._issued_at = resource.sim.now
+
+    # Allow `with (yield res.request()):` style usage in process bodies.
+    def __enter__(self) -> "ResourceRequest":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """Counted resource (semaphore) with FIFO queueing and usage metering.
+
+    ``request()`` yields an event; once triggered the caller holds one slot
+    until ``release(request)``.  Tracks time-weighted utilization and total
+    queue wait, which the experiments use for thread-activity CDFs.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.users: List[ResourceRequest] = []
+        self.queue: Deque[ResourceRequest] = deque()
+        # metering
+        self.total_wait_time = 0.0
+        self.total_acquisitions = 0
+        self._busy_area = 0.0
+        self._last_change = sim.now
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_area += len(self.users) * (now - self._last_change)
+        self._last_change = now
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def utilization(self) -> float:
+        """Mean fraction of capacity in use since creation."""
+        self._account()
+        elapsed = self.sim.now
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_area / (elapsed * self.capacity)
+
+    def request(self) -> ResourceRequest:
+        event = ResourceRequest(self)
+        if len(self.users) < self.capacity:
+            self._grant(event)
+        else:
+            self.queue.append(event)
+        return event
+
+    def _grant(self, event: ResourceRequest) -> None:
+        self._account()
+        self.users.append(event)
+        self.total_acquisitions += 1
+        self.total_wait_time += self.sim.now - event._issued_at
+        event.succeed(event)
+
+    def release(self, request: ResourceRequest) -> None:
+        if request not in self.users:
+            raise SimulationError(
+                f"release of {request!r} which does not hold {self.name!r}"
+            )
+        self._account()  # account the interval *before* shrinking users
+        self.users.remove(request)
+        if self.queue:
+            self._grant(self.queue.popleft())
+
+    def cancel(self, request: ResourceRequest) -> None:
+        """Withdraw a queued (not yet granted) request."""
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            raise SimulationError(f"{request!r} is not queued on {self.name!r}") from None
+
+    def __repr__(self) -> str:
+        return f"<Resource {self.name!r} {self.count}/{self.capacity} queue={len(self.queue)}>"
+
+
+class Lock(Resource):
+    """Binary lock: a capacity-1 resource with a convenience API.
+
+    Usage inside a process::
+
+        req = lock.acquire()
+        yield req
+        try:
+            ...critical section...
+        finally:
+            lock.release(req)
+
+    ``mean_wait()`` exposes average acquisition latency — the direct
+    measurement of synchronization contention.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "lock") -> None:
+        super().__init__(sim, capacity=1, name=name)
+
+    def acquire(self) -> ResourceRequest:
+        return self.request()
+
+    def mean_wait(self) -> float:
+        if self.total_acquisitions == 0:
+            return 0.0
+        return self.total_wait_time / self.total_acquisitions
+
+    @property
+    def locked(self) -> bool:
+        return self.count > 0
+
+
+class Container:
+    """Continuous-level resource (e.g. bytes of buffer memory).
+
+    ``put(amount)``/``get(amount)`` return events that trigger once the level
+    change fits within ``[0, capacity]``.  Requests are served FIFO per
+    direction with opportunistic matching.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+        name: str = "container",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not (0 <= init <= capacity):
+            raise ValueError("init must lie within [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._level = float(init)
+        self._putters: Deque[tuple[Event, float]] = deque()
+        self._getters: Deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        event = Event(self.sim, name=f"cput:{self.name}")
+        self._putters.append((event, amount))
+        self._dispatch()
+        return event
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        if amount > self.capacity:
+            raise ValueError(f"get({amount}) exceeds capacity {self.capacity}")
+        event = Event(self.sim, name=f"cget:{self.name}")
+        self._getters.append((event, amount))
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._level += amount
+                    event.succeed()
+                    self._putters.popleft()
+                    progress = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if self._level >= amount:
+                    self._level -= amount
+                    event.succeed(amount)
+                    self._getters.popleft()
+                    progress = True
+
+    def __repr__(self) -> str:
+        return f"<Container {self.name!r} level={self._level}/{self.capacity}>"

@@ -1,0 +1,61 @@
+"""``repro.storage`` — the storage backend substrate.
+
+Models the I/O stack under the DL frameworks: block devices with realistic
+concurrency scaling (:mod:`.device`, :mod:`.fluid`), an LRU page cache
+(:mod:`.cache`), a filesystem namespace (:mod:`.filesystem`), the POSIX
+interception seam PRISMA hooks (:mod:`.posix`), and a shared distributed
+PFS for multi-tenant scenarios (:mod:`.distributed`).
+"""
+
+from .cache import PageCache
+from .device import (
+    GiB,
+    KiB,
+    MiB,
+    PROFILES,
+    BlockDevice,
+    DeviceProfile,
+    intel_p4600,
+    nvme_gen4,
+    ramdisk,
+    sata_hdd,
+)
+from .distributed import DistributedFilesystem, StorageTarget
+from .filesystem import (
+    FileExists,
+    FileNotFound,
+    Filesystem,
+    InvalidRead,
+    SimFile,
+    StorageError,
+)
+from .fluid import FairShareChannel, constant_capacity, saturating_capacity
+from .posix import BadFileDescriptor, PosixLayer, PosixLike
+
+__all__ = [
+    "BadFileDescriptor",
+    "BlockDevice",
+    "DeviceProfile",
+    "DistributedFilesystem",
+    "FairShareChannel",
+    "FileExists",
+    "FileNotFound",
+    "Filesystem",
+    "GiB",
+    "InvalidRead",
+    "KiB",
+    "MiB",
+    "PROFILES",
+    "PageCache",
+    "PosixLayer",
+    "PosixLike",
+    "SimFile",
+    "StorageError",
+    "StorageTarget",
+    "constant_capacity",
+    "intel_p4600",
+    "nvme_gen4",
+    "ramdisk",
+    "sata_hdd",
+    "saturating_capacity",
+]

@@ -1,0 +1,170 @@
+"""Distributed parallel-filesystem model (Lustre/GPFS/BeeGFS class).
+
+Used by the multi-tenant experiments (paper §II "partial visibility" and
+§VII "access coordination to shared datasets"): several DL jobs, each with
+its own PRISMA stage or framework-intrinsic optimizer, compete for one
+shared backend.
+
+Topology modelled:
+
+* ``n_targets`` object storage targets (OSTs), each a :class:`BlockDevice`;
+  files are placed on OSTs by a stable hash of the path (whole-file
+  placement — ImageNet sample files are far smaller than a Lustre stripe).
+* one shared client network link (a fluid channel) plus a fixed RPC
+  round-trip latency per request.
+
+The same duck-typed read API as :class:`~repro.storage.filesystem.Filesystem`
+is exposed, so every higher layer (POSIX, PRISMA, framework simulators) runs
+unmodified over local or distributed storage — which is precisely the
+portability property the paper's data plane claims.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+from ..simcore.event import Event
+from ..simcore.tracing import CounterSet
+from .cache import PageCache
+from .device import BlockDevice, DeviceProfile, GiB, intel_p4600
+from .filesystem import FileExists, FileNotFound, InvalidRead, SimFile
+from .fluid import FairShareChannel, saturating_capacity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.kernel import Simulator
+    from ..simcore.random import RandomStreams
+
+
+class StorageTarget:
+    """One OST: a device plus the set of files it owns."""
+
+    def __init__(self, sim: "Simulator", index: int, profile: DeviceProfile) -> None:
+        self.index = index
+        self.device = BlockDevice(sim, profile, name=f"ost{index}")
+        self.file_count = 0
+
+    def __repr__(self) -> str:
+        return f"<StorageTarget {self.index} files={self.file_count}>"
+
+
+class DistributedFilesystem:
+    """A shared PFS: hash-placed files over OSTs behind one network link."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        n_targets: int = 4,
+        target_profile: Optional[DeviceProfile] = None,
+        network_bandwidth: float = 10.0 * GiB,
+        network_kappa: float = 0.5,
+        rpc_latency: float = 250e-6,
+        name: str = "pfs",
+    ) -> None:
+        if n_targets < 1:
+            raise ValueError("n_targets must be >= 1")
+        if rpc_latency < 0:
+            raise ValueError("rpc_latency must be non-negative")
+        self.sim = sim
+        self.name = name
+        self.rpc_latency = rpc_latency
+        profile = target_profile or intel_p4600()
+        self.targets: List[StorageTarget] = [
+            StorageTarget(sim, i, profile) for i in range(n_targets)
+        ]
+        self.network = FairShareChannel(
+            sim,
+            saturating_capacity(network_bandwidth, network_kappa),
+            name=f"{name}.net",
+        )
+        # Distributed deployments are exactly the regime where the training
+        # set exceeds client memory; no client cache by default.
+        self.cache = PageCache(sim, 0.0, name=f"{name}.cache")
+        self._files: Dict[str, SimFile] = {}
+        self._placement: Dict[str, int] = {}
+        self.counters = CounterSet()
+
+    # -- namespace (Filesystem-compatible) ----------------------------------------
+    def _place(self, path: str) -> int:
+        digest = hashlib.blake2s(path.encode(), digest_size=4).digest()
+        return int.from_bytes(digest, "little") % len(self.targets)
+
+    def create(self, path: str, size: int) -> SimFile:
+        if path in self._files:
+            raise FileExists(path)
+        f = SimFile(path, int(size))
+        self._files[path] = f
+        ost = self._place(path)
+        self._placement[path] = ost
+        self.targets[ost].file_count += 1
+        return f
+
+    def create_many(self, entries: Iterable[tuple[str, int]]) -> None:
+        for path, size in entries:
+            self.create(path, size)
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def stat(self, path: str) -> SimFile:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFound(path) from None
+
+    def target_of(self, path: str) -> StorageTarget:
+        self.stat(path)
+        return self.targets[self._placement[path]]
+
+    def list_prefix(self, prefix: str) -> List[str]:
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    @property
+    def file_count(self) -> int:
+        return len(self._files)
+
+    def total_bytes(self) -> int:
+        return sum(f.size for f in self._files.values())
+
+    # -- data path --------------------------------------------------------------
+    def read(self, path: str, offset: int = 0, length: Optional[int] = None) -> Event:
+        """RPC to the owning OST: latency + device read + network transfer."""
+        meta = self.stat(path)
+        if offset < 0:
+            raise InvalidRead(f"negative offset {offset} for {path!r}")
+        end = meta.size if length is None else min(offset + max(length, 0), meta.size)
+        nbytes = max(end - offset, 0)
+        target = self.targets[self._placement[path]]
+        done = Event(self.sim, name=f"pfsread:{path}")
+
+        def read_process():
+            yield self.sim.timeout(self.rpc_latency)
+            if nbytes == 0:
+                return 0
+            yield target.device.read(nbytes)
+            yield self.network.transfer(nbytes)
+            self.counters.add("reads")
+            self.counters.add("read_bytes", nbytes)
+            return nbytes
+
+        proc = self.sim.process(read_process(), name=f"pfsread:{path}")
+        proc.add_callback(
+            lambda p: done.succeed(p._value) if p.ok else done.fail(p.exception)
+        )
+        return done
+
+    def read_file(self, path: str) -> Event:
+        return self.read(path, 0, None)
+
+    # -- observability -----------------------------------------------------------
+    def load_imbalance(self) -> float:
+        """max/mean ratio of per-OST file counts (1.0 = perfectly even)."""
+        counts = [t.file_count for t in self.targets]
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean > 0 else 1.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<DistributedFilesystem {self.name!r} targets={len(self.targets)} "
+            f"files={len(self._files)}>"
+        )

@@ -1,0 +1,172 @@
+"""Simulated filesystem: a namespace of files over a block device + cache.
+
+Only what the DL data path needs is modelled — metadata is in-memory and
+free, reads are byte-accurate against stored sizes, and the page cache sits
+in front of the device.  Writes exist so datasets can be "materialized"
+through the same machinery the benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+from ..simcore.errors import SimulationError
+from ..simcore.event import Event
+from .cache import PageCache
+from .device import BlockDevice
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.kernel import Simulator
+
+
+class StorageError(SimulationError):
+    """Base class for filesystem-level failures."""
+
+
+class FileNotFound(StorageError):
+    """The path does not exist."""
+
+
+class FileExists(StorageError):
+    """Attempt to create a path that already exists."""
+
+
+class InvalidRead(StorageError):
+    """Read outside the file's byte range with strict bounds checking."""
+
+
+@dataclass
+class SimFile:
+    """Metadata for one simulated file."""
+
+    path: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"negative file size for {self.path!r}")
+
+
+class Filesystem:
+    """A flat namespace of :class:`SimFile` objects on one device.
+
+    The namespace is flat (paths are opaque strings) because the DL workload
+    never does directory traversal on the hot path; ``list_prefix`` provides
+    the single listing operation dataset catalogs need.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        device: BlockDevice,
+        cache: Optional[PageCache] = None,
+        name: str = "fs",
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.cache = cache if cache is not None else PageCache(sim, 0.0)
+        self.name = name
+        self._files: Dict[str, SimFile] = {}
+
+    # -- namespace ---------------------------------------------------------------
+    def create(self, path: str, size: int) -> SimFile:
+        """Register a file (metadata only — no I/O is simulated)."""
+        if path in self._files:
+            raise FileExists(path)
+        f = SimFile(path, int(size))
+        self._files[path] = f
+        return f
+
+    def create_many(self, entries: Iterable[tuple[str, int]]) -> None:
+        for path, size in entries:
+            self.create(path, size)
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def stat(self, path: str) -> SimFile:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFound(path) from None
+
+    def unlink(self, path: str) -> None:
+        if path not in self._files:
+            raise FileNotFound(path)
+        del self._files[path]
+        self.cache.invalidate(path)
+
+    def list_prefix(self, prefix: str) -> List[str]:
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    @property
+    def file_count(self) -> int:
+        return len(self._files)
+
+    def total_bytes(self) -> int:
+        return sum(f.size for f in self._files.values())
+
+    # -- data path --------------------------------------------------------------
+    def read(self, path: str, offset: int = 0, length: Optional[int] = None) -> Event:
+        """Read bytes from ``path``; event value = bytes actually read.
+
+        ``length=None`` reads to EOF.  Reads are clamped at EOF (POSIX
+        semantics); reading at or past EOF returns 0 bytes after a metadata
+        round-trip.
+        """
+        meta = self.stat(path)
+        if offset < 0:
+            raise InvalidRead(f"negative offset {offset} for {path!r}")
+        end = meta.size if length is None else min(offset + max(length, 0), meta.size)
+        nbytes = max(end - offset, 0)
+
+        done = Event(self.sim, name=f"fsread:{path}")
+
+        def read_process():
+            if nbytes == 0:
+                # Metadata-only: model a syscall round trip.
+                yield self.sim.timeout(1e-6)
+                return 0
+            if self.cache.capacity_bytes > 0 and self.cache.lookup(path):
+                yield self.sim.timeout(self.cache.hit_service_time(nbytes))
+                return nbytes
+            yield self.device.read(nbytes)
+            if self.cache.capacity_bytes > 0:
+                self.cache.insert(path, meta.size)
+            return nbytes
+
+        proc = self.sim.process(read_process(), name=f"fsread:{path}")
+        proc.add_callback(
+            lambda p: done.succeed(p._value) if p.ok else done.fail(p.exception)
+        )
+        return done
+
+    def read_file(self, path: str) -> Event:
+        """Whole-file read (the DL sample-loading operation)."""
+        return self.read(path, 0, None)
+
+    def write(self, path: str, nbytes: int, offset: int = 0) -> Event:
+        """Write (extend) a file; event value = bytes written."""
+        meta = self.stat(path)
+        if offset < 0 or nbytes < 0:
+            raise InvalidRead(f"invalid write range for {path!r}")
+        done = Event(self.sim, name=f"fswrite:{path}")
+
+        def write_process():
+            if nbytes > 0:
+                yield self.device.write(nbytes)
+                meta.size = max(meta.size, offset + nbytes)
+                self.cache.invalidate(path)
+            else:
+                yield self.sim.timeout(1e-6)
+            return nbytes
+
+        proc = self.sim.process(write_process(), name=f"fswrite:{path}")
+        proc.add_callback(
+            lambda p: done.succeed(p._value) if p.ok else done.fail(p.exception)
+        )
+        return done
+
+    def __repr__(self) -> str:
+        return f"<Filesystem {self.name!r} files={len(self._files)}>"

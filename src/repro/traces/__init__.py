@@ -1,0 +1,23 @@
+"""``repro.traces`` — I/O trace recording, characterization, and replay.
+
+Record request-level storage traffic from any point in the stack
+(:class:`TracingPosix`), persist it as JSON Lines (:class:`Trace`), and
+replay it open- or closed-loop against a different storage configuration
+(:class:`TraceReplayer`) — the standard storage-evaluation workflow, built
+on the same POSIX seam PRISMA itself uses.
+"""
+
+from .format import FORMAT_VERSION, SOURCES, Trace, TraceHeader, TraceRecord
+from .recorder import TracingPosix
+from .replay import ReplayResult, TraceReplayer
+
+__all__ = [
+    "FORMAT_VERSION",
+    "ReplayResult",
+    "SOURCES",
+    "Trace",
+    "TraceHeader",
+    "TraceRecord",
+    "TraceReplayer",
+    "TracingPosix",
+]

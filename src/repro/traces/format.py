@@ -1,0 +1,135 @@
+"""I/O trace records and (de)serialization.
+
+A *trace* is the request-level record of a training run's storage traffic:
+one row per read with its issue time, path, size, service latency, and how
+it was served (backend, buffer hit, buffer wait, fast tier).  Traces are
+the lingua franca of storage evaluation — they let one run's workload be
+inspected, characterized, and replayed against a different stack.
+
+The on-disk format is JSON Lines with a one-object header, chosen over a
+binary format deliberately: traces here are analysis artifacts (thousands
+to millions of rows), not hot-path data, and greppability wins.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import IO, Iterable, Iterator, List, Optional
+
+FORMAT_VERSION = 1
+
+#: How a request was served (mirrors the data-plane service paths).
+SOURCES = ("backend", "buffer_hit", "buffer_wait", "fast_tier")
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One storage request."""
+
+    issue_time: float
+    path: str
+    nbytes: int
+    latency: float
+    source: str = "backend"
+
+    def __post_init__(self) -> None:
+        if self.issue_time < 0 or self.latency < 0 or self.nbytes < 0:
+            raise ValueError("trace fields must be non-negative")
+        if self.source not in SOURCES:
+            raise ValueError(f"unknown source {self.source!r}; expected {SOURCES}")
+
+    @property
+    def completion_time(self) -> float:
+        return self.issue_time + self.latency
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """Run metadata stored as the file's first line."""
+
+    description: str = ""
+    workload: str = ""
+    setup: str = ""
+    version: int = FORMAT_VERSION
+
+
+class Trace:
+    """An in-memory trace: header + time-ordered records."""
+
+    def __init__(self, header: Optional[TraceHeader] = None, records: Optional[Iterable[TraceRecord]] = None) -> None:
+        self.header = header or TraceHeader()
+        self.records: List[TraceRecord] = sorted(
+            records or [], key=lambda r: r.issue_time
+        )
+
+    def append(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def finalize(self) -> None:
+        """Sort records by issue time (append order may interleave)."""
+        self.records.sort(key=lambda r: r.issue_time)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    # -- characterization ----------------------------------------------------------
+    def total_bytes(self) -> int:
+        return sum(r.nbytes for r in self.records)
+
+    def duration(self) -> float:
+        if not self.records:
+            return 0.0
+        return max(r.completion_time for r in self.records) - self.records[0].issue_time
+
+    def mean_latency(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.latency for r in self.records) / len(self.records)
+
+    def source_mix(self) -> dict:
+        mix: dict = {}
+        for r in self.records:
+            mix[r.source] = mix.get(r.source, 0) + 1
+        return mix
+
+    # -- serialization ------------------------------------------------------------
+    def dump(self, fh: IO[str]) -> None:
+        fh.write(json.dumps({"header": asdict(self.header)}) + "\n")
+        for r in self.records:
+            fh.write(json.dumps(asdict(r), separators=(",", ":")) + "\n")
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            self.dump(fh)
+
+    @classmethod
+    def load_stream(cls, fh: IO[str]) -> "Trace":
+        first = fh.readline()
+        if not first:
+            raise ValueError("empty trace file")
+        head = json.loads(first)
+        if "header" not in head:
+            raise ValueError("trace file missing header line")
+        header_fields = head["header"]
+        version = header_fields.get("version", 0)
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace version {version} (supported: {FORMAT_VERSION})"
+            )
+        header = TraceHeader(**header_fields)
+        records = []
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            records.append(TraceRecord(**json.loads(line)))
+        return cls(header, records)
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.load_stream(fh)

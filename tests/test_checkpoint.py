@@ -1,0 +1,118 @@
+"""Tests for checkpoint writes and their interaction with training."""
+
+import pytest
+
+from repro.dataset import SequentialOrder, tiny_dataset
+from repro.frameworks import GpuEnsemble, LENET, Trainer, TrainingConfig
+from repro.frameworks.checkpoint import (
+    CHECKPOINT_BYTES,
+    CheckpointConfig,
+    CheckpointWriter,
+)
+from repro.frameworks.tensorflow import tf_baseline
+from repro.simcore import RandomStreams, Simulator
+from repro.storage import BlockDevice, Filesystem, PosixLayer, intel_p4600, ramdisk
+
+
+def make_env(profile=None, n_train=64):
+    streams = RandomStreams(0)
+    sim = Simulator()
+    fs = Filesystem(sim, BlockDevice(sim, profile or ramdisk()))
+    split = tiny_dataset(streams, n_train=n_train, n_val=8)
+    split.materialize(fs)
+    posix = PosixLayer(sim, fs)
+    return sim, fs, posix, split
+
+
+def make_trainer(sim, fs, posix, split, checkpointer, epochs=1, batch=8):
+    src = tf_baseline(sim, split.train, SequentialOrder(len(split.train)), batch, posix, LENET)
+    val = tf_baseline(sim, split.validation, SequentialOrder(8), batch, posix, LENET, name="v")
+    return Trainer(
+        sim, LENET, GpuEnsemble(sim), src,
+        TrainingConfig(epochs=epochs, global_batch=batch), val,
+        checkpointer=checkpointer,
+    )
+
+
+# ---------------------------------------------------------------- config
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CheckpointConfig(every_steps=-1)
+    with pytest.raises(ValueError):
+        CheckpointConfig(nbytes=-1.0)
+    assert not CheckpointConfig().enabled
+    assert CheckpointConfig(every_steps=5, nbytes=1e6).enabled
+
+
+def test_config_for_model():
+    cfg = CheckpointConfig.for_model("alexnet", every_steps=10)
+    assert cfg.nbytes == CHECKPOINT_BYTES["alexnet"]
+    assert CheckpointConfig.for_model("mystery", every_steps=1).nbytes == 100e6
+
+
+# ---------------------------------------------------------------- writer cadence
+def test_writer_cadence_and_files():
+    sim, fs, posix, split = make_env()
+    writer = CheckpointWriter(
+        sim, fs, CheckpointConfig(every_steps=4, nbytes=1e6)
+    )
+    trainer = make_trainer(sim, fs, posix, split, writer)
+    result = trainer.run_to_completion()
+    # 64 samples / batch 8 = 8 steps -> checkpoints at steps 4 and 8.
+    assert writer.checkpoints_written == 2
+    assert len(fs.list_prefix("/ckpt/")) == 2
+    assert fs.stat(fs.list_prefix("/ckpt/")[0]).size == 1e6
+    assert result.total_time > 0
+
+
+def test_sync_checkpoint_stalls_training():
+    def total(every_steps):
+        sim, fs, posix, split = make_env(profile=intel_p4600())
+        writer = CheckpointWriter(
+            sim, fs, CheckpointConfig(every_steps=every_steps, nbytes=500e6)
+        ) if every_steps else None
+        trainer = make_trainer(sim, fs, posix, split, writer)
+        result = trainer.run_to_completion()
+        return result.total_time, writer
+
+    base, _ = total(0)
+    with_ckpt, writer = total(2)
+    assert with_ckpt > base
+    assert writer.sync_stall_time > 0
+    # The measured stall accounts for (most of) the slowdown.
+    assert with_ckpt - base == pytest.approx(writer.sync_stall_time, rel=0.35)
+
+
+def test_async_checkpoint_overlaps():
+    def run(synchronous):
+        sim, fs, posix, split = make_env(profile=intel_p4600())
+        writer = CheckpointWriter(
+            sim, fs,
+            CheckpointConfig(every_steps=2, nbytes=500e6, synchronous=synchronous),
+        )
+        trainer = make_trainer(sim, fs, posix, split, writer)
+        return trainer.run_to_completion().total_time, writer
+
+    sync_time, sync_writer = run(True)
+    async_time, async_writer = run(False)
+    assert async_writer.checkpoints_written == sync_writer.checkpoints_written
+    assert async_time < sync_time  # writes overlap compute + reads
+    assert async_writer.sync_stall_time == 0.0
+
+
+def test_disabled_checkpointer_is_inert():
+    sim, fs, posix, split = make_env()
+    writer = CheckpointWriter(sim, fs, CheckpointConfig())
+    trainer = make_trainer(sim, fs, posix, split, writer)
+    trainer.run_to_completion()
+    assert writer.checkpoints_written == 0
+    assert fs.list_prefix("/ckpt/") == []
+
+
+def test_checkpoints_step_count_spans_epochs():
+    sim, fs, posix, split = make_env(n_train=32)
+    writer = CheckpointWriter(sim, fs, CheckpointConfig(every_steps=5, nbytes=1e5))
+    trainer = make_trainer(sim, fs, posix, split, writer, epochs=3, batch=8)
+    trainer.run_to_completion()
+    # 4 steps/epoch x 3 epochs = 12 global steps -> checkpoints at 5 and 10.
+    assert writer.checkpoints_written == 2

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands_exist():
+    parser = build_parser()
+    for argv in (
+        ["figure2", "--quick"],
+        ["figure3"],
+        ["figure4", "--workers", "0", "4"],
+        ["ablation", "autotune"],
+        ["demo"],
+    ):
+        args = parser.parse_args(argv)
+        assert callable(args.func)
+
+
+def test_parser_rejects_unknown_model():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["figure2", "--models", "vgg"])
+
+
+def test_parser_rejects_unknown_ablation():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["ablation", "everything"])
+
+
+def test_parser_requires_subcommand():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_demo_command_runs(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline=" in out and "prisma=" in out
+
+
+def test_figure2_quick_single_cell(capsys):
+    # One model, one batch size, quick scale: a fast end-to-end CLI pass.
+    assert main(["figure2", "--quick", "--models", "lenet", "--batches", "256"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "tf-prisma" in out
+    assert "vs-baseline" in out

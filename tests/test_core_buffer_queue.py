@@ -1,0 +1,227 @@
+"""Unit tests for PRISMA's prefetch buffer and filename queue."""
+
+import pytest
+
+from repro.core import FilenameQueue, PrefetchBuffer
+from repro.simcore import Simulator
+
+
+# ---------------------------------------------------------------- PrefetchBuffer
+def test_buffer_insert_then_request_hit():
+    sim = Simulator()
+    buf = PrefetchBuffer(sim, capacity=4)
+
+    def scenario():
+        yield buf.insert("/a", 100)
+        hit, ev = buf.request("/a")
+        nbytes = yield ev
+        return hit, nbytes
+
+    p = sim.process(scenario())
+    sim.run(until=p)
+    assert p.value == (True, 100)
+    assert buf.level == 0  # evict-on-read
+
+
+def test_buffer_request_before_insert_is_wait():
+    sim = Simulator()
+    buf = PrefetchBuffer(sim, capacity=4)
+    outcome = {}
+
+    def consumer():
+        hit, ev = buf.request("/a")
+        outcome["hit"] = hit
+        outcome["nbytes"] = yield ev
+        outcome["time"] = sim.now
+
+    def producer():
+        yield sim.timeout(5.0)
+        yield buf.insert("/a", 77)
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert outcome == {"hit": False, "nbytes": 77, "time": 5.0}
+
+
+def test_buffer_capacity_blocks_producer():
+    sim = Simulator()
+    buf = PrefetchBuffer(sim, capacity=2)
+    inserted = []
+
+    def producer():
+        for i in range(4):
+            yield buf.insert(f"/f{i}", i)
+            inserted.append((i, sim.now))
+
+    def consumer():
+        yield sim.timeout(10.0)
+        for i in range(4):
+            _, ev = buf.request(f"/f{i}")
+            yield ev
+            yield sim.timeout(10.0)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert inserted[0][1] == 0.0 and inserted[1][1] == 0.0
+    assert inserted[2][1] == 10.0
+    assert inserted[3][1] == 20.0
+
+
+def test_buffer_out_of_order_consumers():
+    """PyTorch-style consumers waiting for different paths each unblock."""
+    sim = Simulator()
+    buf = PrefetchBuffer(sim, capacity=8)
+    got = {}
+
+    def consumer(path):
+        _, ev = buf.request(path)
+        got[path] = yield ev
+
+    def producer():
+        for i, path in enumerate(["/x", "/y", "/z"]):
+            yield sim.timeout(1.0)
+            yield buf.insert(path, i)
+
+    # Consumers wait in reverse production order.
+    for path in ["/z", "/y", "/x"]:
+        sim.process(consumer(path))
+    sim.process(producer())
+    sim.run()
+    assert got == {"/x": 0, "/y": 1, "/z": 2}
+
+
+def test_buffer_exactly_once_eviction():
+    sim = Simulator()
+    buf = PrefetchBuffer(sim, capacity=4)
+
+    def scenario():
+        yield buf.insert("/a", 1)
+        _, ev = buf.request("/a")
+        yield ev
+        assert not buf.contains("/a")
+
+    p = sim.process(scenario())
+    sim.run(until=p)
+    assert p.ok
+
+
+def test_buffer_hit_rate_and_counters():
+    sim = Simulator()
+    buf = PrefetchBuffer(sim, capacity=4)
+
+    def scenario():
+        yield buf.insert("/a", 1)
+        _, ev = buf.request("/a")  # hit
+        yield ev
+        _, ev = buf.request("/b")  # wait
+        producer = sim.process(late_insert())
+        yield ev
+        yield producer
+
+    def late_insert():
+        yield sim.timeout(1.0)
+        yield buf.insert("/b", 2)
+
+    p = sim.process(scenario())
+    sim.run(until=p)
+    assert buf.counters.get("hits") == 1
+    assert buf.counters.get("waits") == 1
+    assert buf.hit_rate() == pytest.approx(0.5)
+
+
+def test_buffer_dynamic_capacity():
+    sim = Simulator()
+    buf = PrefetchBuffer(sim, capacity=1)
+    times = []
+
+    def producer():
+        yield buf.insert("/a", 1)
+        yield buf.insert("/b", 2)
+        times.append(sim.now)
+
+    def controller():
+        yield sim.timeout(3.0)
+        buf.set_capacity(4)
+
+    sim.process(producer())
+    sim.process(controller())
+    sim.run()
+    assert times == [3.0]  # the second insert waited for the capacity bump
+
+
+def test_buffer_occupancy_gauge_tracks_level():
+    sim = Simulator()
+    buf = PrefetchBuffer(sim, capacity=8)
+
+    def scenario():
+        yield buf.insert("/a", 1)
+        yield sim.timeout(10.0)
+        yield buf.insert("/b", 2)
+        yield sim.timeout(10.0)
+
+    sim.process(scenario())
+    sim.run()
+    hist = buf.occupancy.histogram()
+    assert hist[1.0] == pytest.approx(10.0)
+    assert hist[2.0] == pytest.approx(10.0)
+
+
+def test_buffer_invalid_args():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PrefetchBuffer(sim, capacity=0)
+    buf = PrefetchBuffer(sim, capacity=2)
+    with pytest.raises(ValueError):
+        buf.set_capacity(0)
+
+
+# ---------------------------------------------------------------- FilenameQueue
+def test_queue_fifo_order():
+    q = FilenameQueue()
+    q.load(["/a", "/b", "/c"])
+    assert [q.next(), q.next(), q.next()] == ["/a", "/b", "/c"]
+    assert q.next() is None
+
+
+def test_queue_coverage_tracking():
+    q = FilenameQueue()
+    q.load(["/a", "/b"])
+    assert q.covers("/a")
+    assert not q.covers("/val/x")
+    q.next()
+    assert q.covers("/a")  # coverage persists for the whole epoch
+
+
+def test_queue_epoch_reload():
+    q = FilenameQueue()
+    q.load(["/a"])
+    q.next()
+    q.load(["/b"])
+    assert q.covers("/b")
+    assert not q.covers("/a")  # previous epoch's coverage replaced
+    assert q.epochs_loaded == 2
+    assert q.total_enqueued == 2
+
+
+def test_queue_rejects_overlapping_epochs():
+    q = FilenameQueue()
+    q.load(["/a", "/b"])
+    with pytest.raises(ValueError):
+        q.load(["/c"])
+
+
+def test_queue_rejects_duplicates():
+    q = FilenameQueue()
+    with pytest.raises(ValueError):
+        q.load(["/a", "/a"])
+
+
+def test_queue_remaining_and_pending():
+    q = FilenameQueue()
+    q.load(["/a", "/b", "/c"])
+    q.next()
+    assert q.remaining == 2
+    assert q.pending_paths() == ["/b", "/c"]
+    assert len(q) == 2

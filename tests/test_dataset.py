@@ -1,0 +1,225 @@
+"""Unit tests for dataset catalogs, synthetic generators, shuffle, formats."""
+
+import numpy as np
+import pytest
+
+from repro.simcore import RandomStreams, Simulator
+from repro.storage import BlockDevice, Filesystem, ramdisk
+from repro.dataset import (
+    DatasetCatalog,
+    EpochShuffler,
+    IMAGENET_TRAIN_BYTES,
+    IMAGENET_TRAIN_FILES,
+    SequentialOrder,
+    batches_from_order,
+    imagenet_like,
+    lognormal_sizes,
+    sequentiality,
+    shard_catalog,
+    shuffled_filenames,
+    tiny_dataset,
+    uniform_sizes,
+)
+
+
+# ---------------------------------------------------------------- catalog
+def test_catalog_basics():
+    cat = DatasetCatalog("/d", [10, 20, 30])
+    assert len(cat) == 3
+    assert cat.path(0) == "/d/00000000"
+    assert cat.size(2) == 30
+    assert cat.total_bytes() == 60
+    assert cat.mean_size() == pytest.approx(20.0)
+    info = cat[1]
+    assert (info.index, info.size) == (1, 20)
+
+
+def test_catalog_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        DatasetCatalog("/d", [])
+    with pytest.raises(ValueError):
+        DatasetCatalog("/d", [-1])
+    with pytest.raises(ValueError):
+        DatasetCatalog("/d", [[1, 2]])
+
+
+def test_catalog_index_bounds():
+    cat = DatasetCatalog("/d", [1, 2])
+    with pytest.raises(IndexError):
+        cat.path(2)
+    with pytest.raises(IndexError):
+        cat.path(-1)
+
+
+def test_catalog_sizes_readonly():
+    cat = DatasetCatalog("/d", [1, 2])
+    with pytest.raises(ValueError):
+        cat.sizes[0] = 99
+
+
+def test_catalog_filenames_and_iteration():
+    cat = DatasetCatalog("/d", [5, 5])
+    names = cat.filenames()
+    assert names == [s.path for s in cat]
+
+
+def test_catalog_materialize():
+    sim = Simulator()
+    fs = Filesystem(sim, BlockDevice(sim, ramdisk()))
+    cat = DatasetCatalog("/d", [100, 200])
+    cat.materialize(fs)
+    assert fs.stat("/d/00000000").size == 100
+    assert fs.total_bytes() == 300
+
+
+def test_catalog_subset():
+    cat = DatasetCatalog("/d", [1, 2, 3, 4])
+    sub = cat.subset(2)
+    assert len(sub) == 2
+    assert sub.total_bytes() == 3
+    with pytest.raises(ValueError):
+        cat.subset(0)
+    with pytest.raises(ValueError):
+        cat.subset(5)
+
+
+# ---------------------------------------------------------------- synthetic
+def test_lognormal_sizes_sum_exact():
+    rng = np.random.default_rng(0)
+    sizes = lognormal_sizes(rng, 1000, 10_000_000)
+    assert sizes.sum() == 10_000_000
+    assert (sizes > 0).all()
+
+
+def test_uniform_sizes_sum_exact():
+    sizes = uniform_sizes(7, 1000)
+    assert sizes.sum() == 1000
+    assert len(np.unique(sizes[:-1])) == 1
+
+
+def test_imagenet_like_full_scale_counts():
+    split = imagenet_like(RandomStreams(0), scale=1000)
+    assert len(split.train) == IMAGENET_TRAIN_FILES // 1000
+    assert split.train.total_bytes() == pytest.approx(IMAGENET_TRAIN_BYTES / 1000, rel=0.01)
+    assert len(split.validation) == 50
+
+
+def test_imagenet_like_deterministic():
+    a = imagenet_like(RandomStreams(7), scale=500)
+    b = imagenet_like(RandomStreams(7), scale=500)
+    assert np.array_equal(a.train.sizes, b.train.sizes)
+
+
+def test_imagenet_like_mean_file_size_plausible():
+    """ImageNet's mean JPEG is ~113 KiB; scaled datasets preserve it."""
+    split = imagenet_like(RandomStreams(0), scale=200)
+    assert 90 * 1024 < split.train.mean_size() < 140 * 1024
+
+
+def test_imagenet_like_uniform_distribution_option():
+    split = imagenet_like(RandomStreams(0), scale=1000, size_distribution="uniform")
+    sizes = split.train.sizes
+    assert sizes.max() - sizes.min() <= abs(int(sizes[-1]) - int(sizes[0])) + 1
+
+
+def test_imagenet_like_rejects_bad_args():
+    with pytest.raises(ValueError):
+        imagenet_like(RandomStreams(0), scale=0)
+    with pytest.raises(ValueError):
+        imagenet_like(RandomStreams(0), scale=1, size_distribution="exotic")
+
+
+def test_tiny_dataset_shape():
+    split = tiny_dataset(RandomStreams(1), n_train=32, n_val=8)
+    assert len(split.train) == 32
+    assert len(split.validation) == 8
+    assert split.total_bytes() == split.train.total_bytes() + split.validation.total_bytes()
+
+
+# ---------------------------------------------------------------- shuffle
+def test_shuffler_is_permutation():
+    sh = EpochShuffler(100, RandomStreams(0))
+    order = sh.order(0)
+    assert sorted(order.tolist()) == list(range(100))
+
+
+def test_shuffler_deterministic_per_epoch():
+    a = EpochShuffler(50, RandomStreams(3)).order(2)
+    b = EpochShuffler(50, RandomStreams(3)).order(2)
+    assert np.array_equal(a, b)
+
+
+def test_shuffler_differs_across_epochs():
+    sh = EpochShuffler(200, RandomStreams(0))
+    assert not np.array_equal(sh.order(0), sh.order(1))
+
+
+def test_shuffler_epoch_order_independent_of_generation_order():
+    sh1 = EpochShuffler(64, RandomStreams(9))
+    sh2 = EpochShuffler(64, RandomStreams(9))
+    e3_first = sh1.order(3)
+    sh2.order(0), sh2.order(1)
+    assert np.array_equal(e3_first, sh2.order(3))
+
+
+def test_shared_filenames_match_framework_order():
+    """The PRISMA contract: framework and data plane derive identical order."""
+    streams = RandomStreams(5)
+    cat = DatasetCatalog("/d", [1] * 32)
+    framework_side = shuffled_filenames(cat, EpochShuffler(32, streams), epoch=4)
+    prisma_side = shuffled_filenames(cat, EpochShuffler(32, RandomStreams(5)), epoch=4)
+    assert framework_side == prisma_side
+
+
+def test_sequential_order():
+    so = SequentialOrder(10)
+    assert np.array_equal(so.order(0), np.arange(10))
+    assert np.array_equal(so.order(5), so.order(0))
+
+
+def test_batches_from_order():
+    batches = batches_from_order(np.arange(10), 4)
+    assert [len(b) for b in batches] == [4, 4, 2]
+    dropped = batches_from_order(np.arange(10), 4, drop_remainder=True)
+    assert [len(b) for b in dropped] == [4, 4]
+    with pytest.raises(ValueError):
+        batches_from_order(np.arange(4), 0)
+
+
+# ---------------------------------------------------------------- formats
+def test_shard_catalog_roundtrip():
+    cat = DatasetCatalog("/d", [100, 200, 300, 400, 500])
+    sharded = shard_catalog(cat, samples_per_shard=2)
+    assert len(sharded) == 5
+    assert len(sharded.shards) == 3
+    # Total shard bytes = samples + per-record overhead.
+    from repro.dataset import RECORD_OVERHEAD_BYTES
+
+    assert sharded.shards.total_bytes() == cat.total_bytes() + 5 * RECORD_OVERHEAD_BYTES
+    # Sample 2 lives at the start of shard 1.
+    entry = sharded.locate(2)
+    assert entry.shard_index == 1
+    assert entry.offset == 0
+    assert entry.length == 300 + RECORD_OVERHEAD_BYTES
+    assert sharded.shard_path(2) == sharded.shards.path(1)
+
+
+def test_shard_offsets_contiguous():
+    cat = DatasetCatalog("/d", [10, 20, 30, 40])
+    sharded = shard_catalog(cat, samples_per_shard=4)
+    offsets = [sharded.locate(i).offset for i in range(4)]
+    lengths = [sharded.locate(i).length for i in range(4)]
+    for i in range(3):
+        assert offsets[i + 1] == offsets[i] + lengths[i]
+
+
+def test_shard_invalid_args():
+    cat = DatasetCatalog("/d", [1])
+    with pytest.raises(ValueError):
+        shard_catalog(cat, samples_per_shard=0)
+
+
+def test_sequentiality_metric():
+    assert sequentiality([("a", 0), ("a", 1), ("a", 2)]) == 1.0
+    assert sequentiality([("a", 0), ("b", 0), ("c", 0)]) == 0.0
+    assert sequentiality([("a", 0)]) == 1.0

@@ -1,0 +1,156 @@
+"""Integration tests: the experiment harness reproduces the paper's shapes.
+
+These run scaled-down versions of the real figure configurations and assert
+the qualitative results the paper reports — who wins, where the crossover
+falls, how many threads each system uses.  Full-resolution runs live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    figure2_scale,
+    figure4_scale,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_tf_trial,
+    run_torch_trial,
+)
+from repro.experiments.config import abci_node
+from repro.experiments.report import format_figure2, format_figure3, format_figure4
+from repro.frameworks.models import LENET, RESNET50
+
+#: Small-but-faithful scale for tests: 3202 train files, 100 batches at bs32.
+TEST_SCALE = ExperimentScale(scale=400, epochs=1)
+TEST_BATCH = 32
+
+
+# ---------------------------------------------------------------- config
+def test_scale_presets_respect_granularity():
+    figure2_scale().check_granularity(64)
+    figure4_scale().check_granularity(256, min_batches=96)
+    with pytest.raises(ValueError):
+        ExperimentScale(scale=2000).check_granularity(256)
+
+
+def test_paper_equivalent_scaling():
+    scale = ExperimentScale(scale=100, epochs=2)
+    # 2 simulated epochs at 1/100 size -> x100 x(10/2).
+    assert scale.paper_equivalent(1.0) == pytest.approx(500.0)
+
+
+def test_hardware_profile():
+    hw = abci_node()
+    assert hw.n_gpus == 4
+    assert hw.cpu_cores == 40
+    assert hw.device.name.startswith("intel-p4600")
+
+
+def test_scale_validation():
+    with pytest.raises(ValueError):
+        ExperimentScale(scale=0)
+    with pytest.raises(ValueError):
+        ExperimentScale(scale=1, epochs=0)
+    with pytest.raises(ValueError):
+        ExperimentScale(scale=1, control_period_unscaled=0.0)
+
+
+# ---------------------------------------------------------------- single trials
+def test_tf_trial_rejects_unknown_setup():
+    with pytest.raises(ValueError):
+        run_tf_trial("tf-magic", LENET, TEST_BATCH, TEST_SCALE)
+
+
+def test_torch_trial_rejects_unknown_setup():
+    with pytest.raises(ValueError):
+        run_torch_trial("torch-magic", LENET, TEST_BATCH, 0, TEST_SCALE)
+
+
+def test_tf_trial_deterministic_given_seed():
+    a = run_tf_trial("tf-baseline", LENET, TEST_BATCH, TEST_SCALE, seed=7)
+    b = run_tf_trial("tf-baseline", LENET, TEST_BATCH, TEST_SCALE, seed=7)
+    assert a.paper_equivalent_seconds == b.paper_equivalent_seconds
+
+
+def test_tf_trial_seed_changes_dataset():
+    a = run_tf_trial("tf-baseline", LENET, TEST_BATCH, TEST_SCALE, seed=1)
+    b = run_tf_trial("tf-baseline", LENET, TEST_BATCH, TEST_SCALE, seed=2)
+    assert a.paper_equivalent_seconds != b.paper_equivalent_seconds
+
+
+# ---------------------------------------------------------------- Figure 2 shape
+def test_figure2_lenet_ordering():
+    """Paper: baseline >> PRISMA >= TF-optimized for I/O-bound LeNet."""
+    times = {}
+    for setup in ("tf-baseline", "tf-optimized", "tf-prisma"):
+        times[setup] = run_tf_trial(setup, LENET, TEST_BATCH, TEST_SCALE).paper_equivalent_seconds
+    assert times["tf-baseline"] > times["tf-prisma"] * 1.5  # >=33% reduction
+    assert times["tf-baseline"] > times["tf-optimized"] * 1.5
+    # PRISMA is close to TF-optimized but not better (validation gap).
+    assert times["tf-prisma"] >= times["tf-optimized"] * 0.95
+
+
+def test_figure2_resnet_storage_insensitive():
+    """Paper: no impact on compute-bound ResNet-50."""
+    times = {}
+    for setup in ("tf-baseline", "tf-prisma"):
+        times[setup] = run_tf_trial(setup, RESNET50, TEST_BATCH, TEST_SCALE).paper_equivalent_seconds
+    ratio = times["tf-baseline"] / times["tf-prisma"]
+    assert 0.95 < ratio < 1.15
+
+
+def test_figure2_result_structure():
+    result = run_figure2(
+        scale=TEST_SCALE, models=(LENET,), batch_sizes=(TEST_BATCH,),
+    )
+    assert len(result.cells) == 3
+    assert result.reduction("lenet", TEST_BATCH, "tf-prisma") > 30.0
+    table = format_figure2(result)
+    assert "tf-prisma" in table and "lenet" in table
+
+
+# ---------------------------------------------------------------- Figure 3 shape
+def test_figure3_prisma_uses_few_threads():
+    result = run_figure3(scale=TEST_SCALE, models=(LENET,), batch_size=TEST_BATCH)
+    prisma = result.curve("lenet", "tf-prisma")
+    tf_opt = result.curve("lenet", "tf-optimized")
+    # Paper: PRISMA at most ~4 threads; TF-opt spreads far higher.
+    assert prisma.max_threads <= 6
+    assert tf_opt.max_threads > prisma.max_threads
+    ratios = result.thread_ratio("lenet")
+    assert max(ratios.values()) >= 2.0  # "2-7x more threads"
+    table = format_figure3(result)
+    assert "tf-prisma" in table
+
+
+# ---------------------------------------------------------------- Figure 4 shape
+def test_figure4_crossover_shape():
+    scale = ExperimentScale(scale=400, epochs=1)
+    batch = 16
+    result = run_figure4(
+        scale=scale, models=(LENET,), worker_counts=(0, 4), batch_size=batch,
+    )
+    # PRISMA beats 0 workers decisively, and stays ~constant across counts.
+    assert result.advantage("lenet", 0) > 0
+    assert result.prisma_spread("lenet") < 1.25
+    table = format_figure4(result)
+    assert "prisma" in table and "advantage" in table
+
+
+def test_figure4_native_improves_with_workers():
+    scale = ExperimentScale(scale=400, epochs=1)
+    t0 = run_torch_trial("torch-native", LENET, 16, 0, scale).paper_equivalent_seconds
+    t4 = run_torch_trial("torch-native", LENET, 16, 4, scale).paper_equivalent_seconds
+    assert t4 < t0
+
+
+# ---------------------------------------------------------------- PRISMA telemetry
+def test_prisma_trial_reports_controller_activity():
+    trial = run_tf_trial("tf-prisma", LENET, TEST_BATCH, TEST_SCALE)
+    assert trial.control_cycles > 0
+    assert trial.final_producers >= 1
+    assert trial.peak_producers >= trial.final_producers - 1
+    assert trial.producer_activity  # gauge populated
+    assert 0.0 <= trial.buffer_hit_rate <= 1.0

@@ -1,0 +1,179 @@
+"""Unit tests for the model zoo and GPU ensemble."""
+
+import pytest
+
+from repro.frameworks import (
+    ALEXNET,
+    LENET,
+    MODEL_ZOO,
+    RESNET50,
+    GpuEnsemble,
+    ModelProfile,
+    get_model,
+)
+from repro.simcore import Simulator
+
+
+# ---------------------------------------------------------------- ModelProfile
+def test_zoo_contains_papers_models():
+    assert set(MODEL_ZOO) == {"lenet", "alexnet", "resnet50"}
+
+
+def test_get_model_by_name():
+    assert get_model("lenet") is LENET
+    with pytest.raises(KeyError):
+        get_model("vgg")
+
+
+def test_io_bound_classification_matches_paper():
+    """Paper §V: LeNet/AlexNet are I/O-bound; ResNet-50 is compute-bound."""
+    assert LENET.io_bound and ALEXNET.io_bound
+    assert not RESNET50.io_bound
+
+
+def test_step_time_affine_in_batch():
+    t64 = LENET.step_time(64)
+    t128 = LENET.step_time(128)
+    t256 = LENET.step_time(256)
+    assert t128 - t64 == pytest.approx(64 * LENET.gpu_time_per_image)
+    assert t256 > t128 > t64
+
+
+def test_throughput_improves_with_batch_size():
+    """Images/s grows with batch (the paper's optimized-setup behaviour)."""
+    ips64 = 64 / LENET.step_time(64)
+    ips256 = 256 / LENET.step_time(256)
+    assert ips256 > ips64
+
+
+def test_model_ordering_by_compute_cost():
+    assert LENET.gpu_time_per_image < ALEXNET.gpu_time_per_image < RESNET50.gpu_time_per_image
+
+
+def test_validation_step_cheaper_than_training():
+    for model in MODEL_ZOO.values():
+        assert model.validation_step_time(256) < model.step_time(256)
+
+
+def test_invalid_model_profile_rejected():
+    with pytest.raises(ValueError):
+        ModelProfile("bad", -1.0, 1e-5, 1e-5, True)
+    with pytest.raises(ValueError):
+        ModelProfile("bad", 1e-3, 1e-5, -1e-5, True)
+    with pytest.raises(ValueError):
+        LENET.step_time(0)
+
+
+def test_resnet_saturated_rate_near_4xv100():
+    """≈1.5k img/s FP32 on 4 V100s (the calibration source)."""
+    assert 1300 < RESNET50.saturated_images_per_second() < 1700
+
+
+# ---------------------------------------------------------------- GpuEnsemble
+def test_gpu_executes_submitted_work():
+    sim = Simulator()
+    gpu = GpuEnsemble(sim)
+
+    def driver():
+        yield gpu.submit(1.0)
+        yield gpu.submit(2.0)
+        yield gpu.drain()
+        return sim.now
+
+    p = sim.process(driver())
+    sim.run(until=p)
+    assert p.value == pytest.approx(3.0)
+    assert gpu.steps_executed == 2
+    assert gpu.total_compute_time == pytest.approx(3.0)
+
+
+def test_gpu_submit_is_asynchronous():
+    """submit() returns when queued, not when computed (CUDA semantics)."""
+    sim = Simulator()
+    gpu = GpuEnsemble(sim, queue_depth=2)
+    accept_times = []
+
+    def driver():
+        for _ in range(2):
+            yield gpu.submit(10.0)
+            accept_times.append(sim.now)
+        yield gpu.drain()
+
+    sim.process(driver())
+    sim.run()
+    # Both submissions accepted immediately at t=0 (queue depth 2).
+    assert accept_times == [0.0, 0.0]
+    assert sim.now == pytest.approx(20.0)
+
+
+def test_gpu_queue_backpressure():
+    sim = Simulator()
+    gpu = GpuEnsemble(sim, queue_depth=1)
+    accept_times = []
+
+    def driver():
+        for _ in range(3):
+            yield gpu.submit(5.0)
+            accept_times.append(sim.now)
+        yield gpu.drain()
+
+    sim.process(driver())
+    sim.run()
+    # 1st queued at 0; 2nd waits for the 1st to start...: queue admits when
+    # the engine takes an item out.
+    assert accept_times[0] == 0.0
+    assert accept_times[-1] <= 10.0
+    assert sim.now == pytest.approx(15.0)
+
+
+def test_gpu_utilization():
+    sim = Simulator()
+    gpu = GpuEnsemble(sim)
+
+    def driver():
+        yield gpu.submit(4.0)
+        yield gpu.drain()
+        yield sim.timeout(6.0)
+
+    sim.process(driver())
+    sim.run()
+    assert gpu.utilization() == pytest.approx(0.4)
+
+
+def test_gpu_train_and_validation_steps():
+    sim = Simulator()
+    gpu = GpuEnsemble(sim)
+
+    def driver():
+        yield gpu.train_step(LENET, 256)
+        yield gpu.validation_step(LENET, 256)
+        yield gpu.drain()
+
+    sim.process(driver())
+    sim.run()
+    expected = LENET.step_time(256) + LENET.validation_step_time(256)
+    assert sim.now == pytest.approx(expected)
+
+
+def test_gpu_drain_when_idle_fires_immediately():
+    sim = Simulator()
+    gpu = GpuEnsemble(sim)
+
+    def driver():
+        yield gpu.drain()
+        return sim.now
+
+    p = sim.process(driver())
+    sim.run(until=p)
+    assert p.value == 0.0
+
+
+def test_gpu_invalid_args():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        GpuEnsemble(sim, n_gpus=0)
+    with pytest.raises(ValueError):
+        GpuEnsemble(sim, queue_depth=0)
+    gpu = GpuEnsemble(sim)
+    with pytest.raises(ValueError):
+        gpu.submit(-1.0)

@@ -1,0 +1,184 @@
+"""Unit tests for the TensorFlow and PyTorch PRISMA bindings."""
+
+import pytest
+
+from repro.core import build_prisma
+from repro.core.integrations import (
+    PrismaTensorFlowPipeline,
+    PrismaTorchClient,
+    PrismaUDSServer,
+    make_torch_posix_factory,
+    tf_integration_loc,
+    torch_integration_loc,
+)
+from repro.dataset import SequentialOrder, tiny_dataset
+from repro.frameworks import GpuEnsemble, LENET, Trainer, TrainingConfig
+from repro.frameworks.pytorch import TorchDataLoader
+from repro.frameworks.tensorflow import tf_baseline
+from repro.simcore import RandomStreams, Simulator
+from repro.storage import BadFileDescriptor, BlockDevice, Filesystem, PosixLayer, ramdisk
+
+
+def make_env(n_train=48):
+    streams = RandomStreams(0)
+    sim = Simulator()
+    fs = Filesystem(sim, BlockDevice(sim, ramdisk()))
+    split = tiny_dataset(streams, n_train=n_train, n_val=8)
+    split.materialize(fs)
+    posix = PosixLayer(sim, fs)
+    return sim, posix, split
+
+
+# ---------------------------------------------------------------- TF binding
+def test_tf_binding_full_training_run():
+    sim, posix, split = make_env()
+    stage, pf, ctl = build_prisma(sim, posix, control_period=1e-3)
+    train = PrismaTensorFlowPipeline(
+        sim, split.train, SequentialOrder(len(split.train)), 8, stage, LENET
+    )
+    val = tf_baseline(
+        sim, split.validation, SequentialOrder(8), 8, posix, LENET, name="v"
+    )
+    trainer = Trainer(
+        sim, LENET, GpuEnsemble(sim), train, TrainingConfig(epochs=2, global_batch=8), val
+    )
+    result = trainer.run_to_completion()
+    ctl.stop()
+    assert result.total_time > 0
+    # Every training read went through the data plane.
+    assert stage.counters.get("optimized_reads") == len(split.train) * 2
+    assert pf.files_fetched == len(split.train) * 2
+
+
+def test_tf_binding_shares_epoch_order_with_stage():
+    sim, posix, split = make_env(n_train=16)
+    stage, pf, ctl = build_prisma(sim, posix, control_period=1e-3)
+    train = PrismaTensorFlowPipeline(
+        sim, split.train, SequentialOrder(16), 4, stage, LENET
+    )
+    train.begin_epoch(0)
+    # The prefetch queue holds the same paths the pipeline will request.
+    assert pf.queue.covers(split.train.path(0))
+    assert pf.queue.covers(split.train.path(15))
+    ctl.stop()
+
+    def drain():
+        while True:
+            b = yield train.next_batch()
+            if b is None:
+                return
+
+    p = sim.process(drain())
+    sim.run(until=p)
+
+
+def test_tf_integration_loc_close_to_paper():
+    """Paper §IV: the TF integration changed 10 LoC."""
+    loc = tf_integration_loc()
+    assert loc <= 10
+
+
+# ---------------------------------------------------------------- UDS server/client
+def test_uds_roundtrip_serves_bytes():
+    sim, posix, split = make_env(n_train=8)
+    stage, pf, ctl = build_prisma(sim, posix, control_period=1e-3)
+    server = PrismaUDSServer(sim, stage)
+    client = PrismaTorchClient(
+        sim, server, lambda p: split.train.size(int(p.rsplit("/", 1)[1]))
+    )
+    stage.load_epoch(split.train.filenames())
+    ev = client.read_whole(split.train.path(0))
+    sim.run(until=ev)
+    ctl.stop()
+    assert ev.value == split.train.size(0)
+    assert server.counters.get("served") == 1
+
+
+def test_uds_server_serializes_service_time():
+    sim, posix, split = make_env(n_train=8)
+    stage, pf, ctl = build_prisma(sim, posix, control_period=1e3)  # inert
+    server = PrismaUDSServer(sim, stage, service_time=1.0)
+    client = PrismaTorchClient(
+        sim, server, lambda p: 0, client_overhead=0.0
+    )
+    stage.load_epoch(split.train.filenames())
+    events = [client.read_whole(split.train.path(i)) for i in range(3)]
+    sim.run(until=sim.all_of(events))
+    ctl.stop()
+    # 3 requests x 1 s serialized service => at least 3 s of simulated time.
+    assert sim.now >= 3.0
+
+
+def test_uds_client_metadata_is_local():
+    sim, posix, split = make_env(n_train=4)
+    stage, pf, ctl = build_prisma(sim, posix, control_period=1e3)
+    server = PrismaUDSServer(sim, stage)
+    sizes = {split.train.path(i): split.train.size(i) for i in range(4)}
+    client = PrismaTorchClient(sim, server, lambda p: sizes[p])
+    fd = client.open(split.train.path(2))
+    assert client.fstat_size(fd) == split.train.size(2)
+    client.close(fd)
+    with pytest.raises(BadFileDescriptor):
+        client.fstat_size(fd)
+    ctl.stop()
+
+
+def test_uds_client_pread_clamps(env=None):
+    sim, posix, split = make_env(n_train=4)
+    stage, pf, ctl = build_prisma(sim, posix, control_period=1e3)
+    server = PrismaUDSServer(sim, stage)
+    client = PrismaTorchClient(sim, server, lambda p: split.train.size(0))
+    stage.load_epoch(split.train.filenames())
+    fd = client.open(split.train.path(0))
+    ev = client.pread(fd, 10, 0)
+    sim.run(until=ev)
+    ctl.stop()
+    assert ev.value == 10
+
+
+def test_uds_invalid_args():
+    sim, posix, split = make_env(n_train=4)
+    stage, pf, ctl = build_prisma(sim, posix, control_period=1e3)
+    with pytest.raises(ValueError):
+        PrismaUDSServer(sim, stage, service_time=-1.0)
+    server = PrismaUDSServer(sim, stage)
+    with pytest.raises(ValueError):
+        PrismaTorchClient(sim, server, lambda p: 0, client_overhead=-1.0)
+    ctl.stop()
+
+
+def test_torch_binding_full_training_run():
+    sim, posix, split = make_env(n_train=64)
+    stage, pf, ctl = build_prisma(sim, posix, control_period=1e-3)
+    server = PrismaUDSServer(sim, stage)
+    factory = make_torch_posix_factory(
+        sim, server, lambda p: split.train.size(int(p.rsplit("/", 1)[1]))
+    )
+
+    class Shared(TorchDataLoader):
+        def begin_epoch(self, epoch):
+            super().begin_epoch(epoch)
+            order = self.shuffler.order(epoch)
+            stage.load_epoch(self.catalog.path(int(i)) for i in order)
+
+    train = Shared(
+        sim, split.train, SequentialOrder(64), 8, factory, LENET, num_workers=2
+    )
+    val = TorchDataLoader(
+        sim, split.validation, SequentialOrder(8), 8, lambda w: posix, LENET,
+        num_workers=2, name="val",
+    )
+    trainer = Trainer(
+        sim, LENET, GpuEnsemble(sim), train, TrainingConfig(epochs=1, global_batch=8), val
+    )
+    result = trainer.run_to_completion()
+    ctl.stop()
+    assert result.total_time > 0
+    assert server.counters.get("served") == 64
+    assert pf.buffer.hit_rate() > 0
+
+
+def test_torch_integration_loc_close_to_paper():
+    """Paper §IV: the PyTorch integration changed 35 LoC."""
+    loc = torch_integration_loc()
+    assert loc <= 40

@@ -1,0 +1,125 @@
+"""Unit tests for the metrics package (summary stats and CDFs)."""
+
+import pytest
+
+from repro.metrics import (
+    Comparison,
+    DiscreteCDF,
+    aggregate_by_key,
+    cdf_from_histogram,
+    empirical_cdf,
+    reduction_percent,
+    run_stats,
+    speedup,
+    thread_usage_ratio,
+)
+
+
+# ---------------------------------------------------------------- run_stats
+def test_run_stats_single_value():
+    s = run_stats([10.0])
+    assert s.mean == 10.0
+    assert s.std == 0.0
+    assert s.n == 1
+
+
+def test_run_stats_known_values():
+    s = run_stats([2.0, 4.0, 6.0])
+    assert s.mean == pytest.approx(4.0)
+    assert s.std == pytest.approx(2.0)
+    assert (s.minimum, s.maximum) == (2.0, 6.0)
+    assert "4.0" in str(s)
+
+
+def test_run_stats_empty_rejected():
+    with pytest.raises(ValueError):
+        run_stats([])
+
+
+# ---------------------------------------------------------------- paper metrics
+def test_reduction_percent_matches_paper_math():
+    # Paper: PRISMA 2047 s vs baseline ~4177 s "reduction of 51%".
+    assert reduction_percent(4177, 2047) == pytest.approx(51.0, abs=0.5)
+
+
+def test_speedup():
+    assert speedup(100, 50) == 2.0
+    with pytest.raises(ValueError):
+        speedup(100, 0)
+    with pytest.raises(ValueError):
+        reduction_percent(0, 1)
+
+
+def test_comparison_row():
+    c = Comparison("lenet/prisma", paper_value=1880, measured_value=1938)
+    assert c.relative_error == pytest.approx(0.0308, abs=1e-3)
+    assert "paper=1880" in c.row()
+
+
+def test_aggregate_by_key():
+    rows = [
+        {"setup": "a", "t": 1.0},
+        {"setup": "a", "t": 3.0},
+        {"setup": "b", "t": 10.0},
+    ]
+    agg = aggregate_by_key(rows, "setup", "t")
+    assert agg["a"].mean == 2.0
+    assert agg["b"].n == 1
+
+
+# ---------------------------------------------------------------- DiscreteCDF
+def test_cdf_from_histogram_basic():
+    cdf = cdf_from_histogram({1: 30.0, 2: 50.0, 4: 20.0})
+    assert cdf.at(1) == pytest.approx(0.3)
+    assert cdf.at(2) == pytest.approx(0.8)
+    assert cdf.at(3) == pytest.approx(0.8)
+    assert cdf.at(4) == pytest.approx(1.0)
+    assert cdf.at(0) == 0.0
+    assert cdf.maximum == 4
+
+
+def test_cdf_drop_zero():
+    cdf = cdf_from_histogram({0: 100.0, 2: 50.0, 4: 50.0}, drop_zero=True)
+    assert cdf.at(2) == pytest.approx(0.5)
+
+
+def test_cdf_quantiles():
+    cdf = cdf_from_histogram({1: 50.0, 4: 50.0})
+    assert cdf.quantile(0.25) == 1
+    assert cdf.quantile(0.5) == 1
+    assert cdf.quantile(0.75) == 4
+    assert cdf.quantile(1.0) == 4
+    with pytest.raises(ValueError):
+        cdf.quantile(1.5)
+
+
+def test_cdf_empty_histogram_rejected():
+    with pytest.raises(ValueError):
+        cdf_from_histogram({})
+    with pytest.raises(ValueError):
+        cdf_from_histogram({0: 10.0}, drop_zero=True)
+
+
+def test_cdf_validation():
+    with pytest.raises(ValueError):
+        DiscreteCDF((2.0, 1.0), (0.5, 1.0))  # unsorted values
+    with pytest.raises(ValueError):
+        DiscreteCDF((1.0, 2.0), (0.9, 0.5))  # decreasing
+    with pytest.raises(ValueError):
+        DiscreteCDF((1.0,), (0.7,))  # doesn't end at 1
+
+
+def test_thread_usage_ratio_reproduces_paper_range():
+    """TF-opt at up to 30 threads vs PRISMA at ~4: ratio in the 2-7x band."""
+    tf = cdf_from_histogram({10: 20.0, 20: 40.0, 30: 40.0})
+    prisma = cdf_from_histogram({3: 20.0, 4: 80.0})
+    ratios = thread_usage_ratio(tf, prisma)
+    assert all(2.0 <= r <= 8.0 for r in ratios.values())
+
+
+def test_empirical_cdf():
+    cdf = empirical_cdf([1, 1, 2, 3])
+    assert cdf.at(1) == pytest.approx(0.5)
+    assert cdf.at(3) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        empirical_cdf([])

@@ -1,0 +1,71 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.experiments.plot import bar_chart, cdf_staircase, grouped_bar_chart
+
+
+def test_bar_chart_scales_to_peak():
+    chart = bar_chart("T", [("a", 100.0), ("b", 50.0)], width=10)
+    lines = chart.splitlines()
+    assert lines[0] == "T"
+    bar_a = lines[1].count("█")
+    bar_b = lines[2].count("█")
+    assert bar_a == 10
+    assert bar_b == 5
+    assert "100 s" in lines[1]
+
+
+def test_bar_chart_empty_rejected():
+    with pytest.raises(ValueError):
+        bar_chart("T", [])
+
+
+def test_bar_chart_zero_values():
+    chart = bar_chart("T", [("a", 0.0)])
+    assert "0 s" in chart
+
+
+def test_grouped_bar_chart_structure():
+    chart = grouped_bar_chart(
+        "G",
+        {"g1": {"x": 10.0, "y": 20.0}, "g2": {"x": 5.0}},
+    )
+    assert "g1:" in chart and "g2:" in chart
+    assert chart.count("x") >= 2  # series label in both groups
+
+
+def test_grouped_bar_chart_empty_rejected():
+    with pytest.raises(ValueError):
+        grouped_bar_chart("G", {})
+
+
+def test_cdf_staircase_grid():
+    chart = cdf_staircase(
+        "C",
+        {"prisma": [(4.0, 1.0)], "optimized": [(16.0, 0.5), (30.0, 1.0)]},
+        max_value=30,
+        height=4,
+    )
+    lines = chart.splitlines()
+    assert lines[0] == "C"
+    assert "1.00 |" in lines[1]
+    assert "p = prisma" in chart
+    assert "concurrent reader threads" in chart
+
+
+def test_cdf_staircase_empty_rejected():
+    with pytest.raises(ValueError):
+        cdf_staircase("C", {})
+
+
+def test_report_chart_functions():
+    """figure*_chart render from real (tiny) results."""
+    from repro.experiments import ExperimentScale, run_figure2
+    from repro.experiments.report import figure2_chart
+    from repro.frameworks.models import LENET
+
+    scale = ExperimentScale(scale=400, epochs=1)
+    result = run_figure2(scale=scale, models=(LENET,), batch_sizes=(32,))
+    chart = figure2_chart(result, batch_size=32)
+    assert "lenet" in chart and "█" in chart

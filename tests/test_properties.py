@@ -1,0 +1,248 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FilenameQueue, PrefetchBuffer
+from repro.dataset import (
+    DatasetCatalog,
+    EpochShuffler,
+    batches_from_order,
+    lognormal_sizes,
+    shard_catalog,
+)
+from repro.frameworks.tensorflow import PrefetchAutotuner
+from repro.metrics import cdf_from_histogram, jain_fairness, run_stats
+from repro.simcore import RandomStreams, Simulator
+from repro.storage import FairShareChannel, constant_capacity, saturating_capacity
+
+
+# ---------------------------------------------------------------- kernel ordering
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=50))
+def test_events_fire_in_time_order(delays):
+    sim = Simulator()
+    fired = []
+
+    def waiter(d):
+        yield sim.timeout(d)
+        fired.append(sim.now)
+
+    for d in delays:
+        sim.process(waiter(d))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=40),
+    st.integers(min_value=1, max_value=10),
+)
+def test_store_preserves_items_exactly(items, capacity):
+    from repro.simcore import Store
+
+    sim = Simulator()
+    store = Store(sim, capacity=capacity)
+    received = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            received.append((yield store.get()))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert received == items
+
+
+# ---------------------------------------------------------------- fluid channel
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=1.0, max_value=1e6),   # bytes
+            st.floats(min_value=0.0, max_value=10.0),  # start delay
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    st.floats(min_value=10.0, max_value=1e4),
+    st.floats(min_value=0.0, max_value=5.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_fluid_channel_conserves_bytes(transfers, max_rate, kappa):
+    sim = Simulator()
+    ch = FairShareChannel(sim, saturating_capacity(max_rate, kappa))
+
+    def one(delay, nbytes):
+        if delay:
+            yield sim.timeout(delay)
+        yield ch.transfer(nbytes)
+
+    for nbytes, delay in transfers:
+        sim.process(one(delay, nbytes))
+    sim.run()
+    assert ch.bytes_served == pytest.approx(sum(b for b, _ in transfers), rel=1e-6)
+    assert ch.transfers_completed == len(transfers)
+    assert ch.active_count == 0
+
+
+@given(st.floats(min_value=1.0, max_value=1e5), st.integers(min_value=1, max_value=64))
+def test_saturating_capacity_monotone(rate, k):
+    cap = saturating_capacity(rate, kappa=2.0)
+    assert cap(k) <= cap(k + 1) <= rate
+    assert cap(0) == 0.0
+
+
+@given(st.floats(min_value=1.0, max_value=1e6))
+def test_single_transfer_exact_duration(nbytes):
+    sim = Simulator()
+    ch = FairShareChannel(sim, constant_capacity(100.0))
+
+    def one():
+        yield ch.transfer(nbytes)
+
+    p = sim.process(one())
+    sim.run(until=p)
+    assert sim.now == pytest.approx(nbytes / 100.0, rel=1e-9)
+
+
+# ---------------------------------------------------------------- shuffling
+@given(st.integers(min_value=1, max_value=500), st.integers(min_value=0, max_value=20),
+       st.integers(min_value=0, max_value=2**31 - 1))
+def test_shuffle_is_always_permutation(n, epoch, seed):
+    sh = EpochShuffler(n, RandomStreams(seed))
+    order = sh.order(epoch)
+    assert np.array_equal(np.sort(order), np.arange(n))
+
+
+@given(st.integers(min_value=1, max_value=300), st.integers(min_value=1, max_value=64))
+def test_batches_partition_order(n, batch_size):
+    order = np.random.default_rng(0).permutation(n)
+    batches = batches_from_order(order, batch_size)
+    flat = np.concatenate(batches)
+    assert np.array_equal(flat, order)
+    assert all(len(b) == batch_size for b in batches[:-1])
+    assert 1 <= len(batches[-1]) <= batch_size
+
+
+# ---------------------------------------------------------------- dataset sizes
+@given(st.integers(min_value=1, max_value=2000), st.integers(min_value=1, max_value=10**9))
+@settings(max_examples=30)
+def test_lognormal_sizes_exact_total(count, total):
+    if total < count:
+        total = count
+    sizes = lognormal_sizes(np.random.default_rng(0), count, total)
+    assert int(sizes.sum()) == total
+    assert (sizes >= 1).all()
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10**6), min_size=1, max_size=200),
+       st.integers(min_value=1, max_value=50))
+def test_sharding_preserves_samples(sizes, per_shard):
+    from repro.dataset import RECORD_OVERHEAD_BYTES
+
+    cat = DatasetCatalog("/d", sizes)
+    sharded = shard_catalog(cat, samples_per_shard=per_shard)
+    assert len(sharded) == len(sizes)
+    # Each sample's record length covers its payload + framing.
+    for i, size in enumerate(sizes):
+        assert sharded.locate(i).length == size + RECORD_OVERHEAD_BYTES
+    # Shard bytes add up exactly.
+    assert sharded.shards.total_bytes() == sum(sizes) + len(sizes) * RECORD_OVERHEAD_BYTES
+
+
+# ---------------------------------------------------------------- PRISMA buffer
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=1, max_value=60),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_buffer_never_exceeds_capacity_and_serves_all(capacity, n_items, seed):
+    sim = Simulator()
+    buf = PrefetchBuffer(sim, capacity=capacity)
+    paths = [f"/f{i}" for i in range(n_items)]
+    rng = np.random.default_rng(seed)
+    consume_order = [paths[i] for i in rng.permutation(n_items)]
+    got = []
+
+    def producer():
+        for i, path in enumerate(paths):
+            yield buf.insert(path, i)
+            assert buf.level <= capacity + 1  # transient before gauge settles
+
+    def consumer(path):
+        _, ev = buf.request(path)
+        nbytes = yield ev
+        got.append((path, nbytes))
+
+    sim.process(producer())
+    for path in consume_order:
+        sim.process(consumer(path))
+    sim.run()
+    assert len(got) == n_items
+    assert buf.level == 0
+    # Exactly-once: every path served once with its own payload.
+    assert {p for p, _ in got} == set(paths)
+    assert buf.occupancy.max_seen() <= capacity
+
+
+@given(st.lists(st.text(alphabet="abcdef", min_size=1, max_size=6), min_size=1,
+                max_size=50, unique=True))
+def test_filename_queue_fifo_property(paths):
+    q = FilenameQueue()
+    q.load(paths)
+    popped = []
+    while True:
+        item = q.next()
+        if item is None:
+            break
+        popped.append(item)
+    assert popped == paths
+
+
+# ---------------------------------------------------------------- TF autotuner
+@given(st.lists(st.integers(min_value=0, max_value=64), min_size=1, max_size=200))
+def test_autotuner_limit_monotone_and_bounded(observations):
+    tuner = PrefetchAutotuner(initial_limit=1, max_limit=32)
+    seen = [tuner.buffer_limit]
+    for obs in observations:
+        tuner.record_consumption(min(obs, tuner.buffer_limit))
+        seen.append(tuner.buffer_limit)
+    # The limit never shrinks and never exceeds the cap.
+    assert all(b >= a for a, b in zip(seen, seen[1:]))
+    assert seen[-1] <= 32
+    # Power-of-two growth from 1.
+    assert seen[-1] & (seen[-1] - 1) == 0
+
+
+# ---------------------------------------------------------------- metrics
+@given(st.dictionaries(st.integers(min_value=0, max_value=40),
+                       st.floats(min_value=0.01, max_value=1e4),
+                       min_size=1, max_size=20))
+def test_cdf_monotone_ends_at_one(histogram):
+    cdf = cdf_from_histogram({float(k): v for k, v in histogram.items()})
+    cums = [c for _, c in cdf.points()]
+    assert all(b >= a for a, b in zip(cums, cums[1:]))
+    assert cums[-1] == pytest.approx(1.0)
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1, max_size=30))
+def test_jain_fairness_in_unit_interval(values):
+    f = jain_fairness(values)
+    assert 1.0 / len(values) - 1e-9 <= f <= 1.0 + 1e-9
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+def test_run_stats_bounds(values):
+    s = run_stats(values)
+    # Float summation can push the mean a few ULPs past the extremes.
+    tolerance = 1e-9 * max(1.0, abs(s.minimum), abs(s.maximum))
+    assert s.minimum - tolerance <= s.mean <= s.maximum + tolerance
+    assert s.std >= 0

@@ -1,0 +1,202 @@
+"""Property-based tests for the extension components."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.shared import _SharedBuffer
+from repro.distributed import StepBarrier, allreduce_cost
+from repro.frameworks import LENET
+from repro.metrics.timeseries import LatencyRecorder, bin_rate
+from repro.simcore import Simulator
+from repro.traces import Trace, TraceRecord
+
+
+# ---------------------------------------------------------------- shared buffer
+@given(
+    st.integers(min_value=1, max_value=8),    # capacity
+    st.integers(min_value=1, max_value=4),    # fanout (consumer count)
+    st.integers(min_value=1, max_value=24),   # items
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_shared_buffer_every_consumer_gets_every_item(capacity, fanout, n_items, seed):
+    """Consumers following the *coordinated order* (the PRISMA §IV contract)
+    at arbitrary per-consumer paces all receive every item exactly once.
+
+    (Arbitrary per-consumer permutations are out of contract: a consumer
+    demanding items beyond the bounded window against production order can
+    stall any finite buffer — which is exactly why the paper shares one
+    shuffled filenames list.)
+    """
+    sim = Simulator()
+    buf = _SharedBuffer(sim, capacity=capacity, fanout=fanout, name="t")
+    paths = [f"/f{i}" for i in range(n_items)]
+    rng = np.random.default_rng(seed)
+    paces = rng.random((fanout, n_items)) * 0.01
+    received = {c: [] for c in range(fanout)}
+
+    def producer():
+        for i, path in enumerate(paths):
+            yield buf.insert(path, i)
+
+    def consumer(cid):
+        for i, path in enumerate(paths):
+            yield sim.timeout(float(paces[cid][i]))
+            value = yield buf.take(path)
+            received[cid].append((path, value))
+
+    sim.process(producer())
+    for c in range(fanout):
+        sim.process(consumer(c))
+    sim.run()
+    for c in range(fanout):
+        assert len(received[c]) == n_items
+        assert [p for p, _ in received[c]] == paths
+        assert all(v == int(p[2:]) for p, v in received[c])
+    # Fully drained: every slot released after its last copy.
+    assert buf.level == 0
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_shared_buffer_any_order_within_window(fanout, n_items, seed):
+    """With capacity >= items, even fully random per-consumer orders work."""
+    sim = Simulator()
+    buf = _SharedBuffer(sim, capacity=n_items, fanout=fanout, name="t")
+    paths = [f"/f{i}" for i in range(n_items)]
+    rng = np.random.default_rng(seed)
+    received = {c: 0 for c in range(fanout)}
+
+    def producer():
+        for i, path in enumerate(paths):
+            yield buf.insert(path, i)
+
+    def consumer(cid, order):
+        for path in order:
+            yield buf.take(path)
+            received[cid] += 1
+
+    sim.process(producer())
+    for c in range(fanout):
+        sim.process(consumer(c, [paths[i] for i in rng.permutation(n_items)]))
+    sim.run()
+    assert all(count == n_items for count in received.values())
+    assert buf.level == 0
+
+
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=30))
+@settings(max_examples=25, deadline=None)
+def test_shared_buffer_capacity_respected(capacity, n_items):
+    sim = Simulator()
+    buf = _SharedBuffer(sim, capacity=capacity, fanout=1, name="t")
+    paths = [f"/f{i}" for i in range(n_items)]
+
+    def producer():
+        for i, path in enumerate(paths):
+            yield buf.insert(path, i)
+            assert buf.level <= capacity
+
+    def consumer():
+        for path in paths:
+            yield buf.take(path)
+            yield sim.timeout(1.0)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert buf.level == 0
+
+
+# ---------------------------------------------------------------- barrier
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_barrier_lockstep_property(parties, rounds, seed):
+    """All parties observe identical release times for every round."""
+    sim = Simulator()
+    barrier = StepBarrier(sim, parties=parties)
+    rng = np.random.default_rng(seed)
+    delays = rng.random((parties, rounds))
+    releases = {p: [] for p in range(parties)}
+
+    def party(pid):
+        for r in range(rounds):
+            yield sim.timeout(float(delays[pid][r]))
+            yield barrier.arrive(r)
+            releases[pid].append(sim.now)
+
+    for p in range(parties):
+        sim.process(party(p))
+    sim.run()
+    for r in range(rounds):
+        times = {releases[p][r] for p in range(parties)}
+        assert len(times) == 1  # lock-step
+    assert barrier.counters.get("rounds") == rounds
+    assert barrier.total_wait >= 0
+
+
+@given(st.integers(min_value=2, max_value=64))
+def test_allreduce_cost_monotone_in_nodes(n):
+    assert allreduce_cost(LENET, n + 1) >= allreduce_cost(LENET, n) > 0
+
+
+# ---------------------------------------------------------------- traces
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e3),
+            st.integers(min_value=0, max_value=10**9),
+            st.floats(min_value=0, max_value=10.0),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=30)
+def test_trace_serialization_roundtrip(rows):
+    import io
+
+    trace = Trace(records=[
+        TraceRecord(t, f"/p{i}", n, lat) for i, (t, n, lat) in enumerate(rows)
+    ])
+    buf = io.StringIO()
+    trace.dump(buf)
+    buf.seek(0)
+    loaded = Trace.load_stream(buf)
+    assert loaded.records == trace.records
+    assert loaded.total_bytes() == trace.total_bytes()
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e2), min_size=1, max_size=200))
+@settings(max_examples=30)
+def test_latency_recorder_percentiles_ordered(latencies):
+    rec = LatencyRecorder()
+    for i, lat in enumerate(latencies):
+        rec.record(float(i), lat)
+    s = rec.summary()
+    assert s.p50 <= s.p90 <= s.p99 <= s.maximum + 1e-12
+    assert 0 <= s.mean <= s.maximum + 1e-12
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100), st.floats(min_value=0, max_value=1e6)),
+        min_size=1,
+        max_size=100,
+    ),
+    st.floats(min_value=0.1, max_value=10.0),
+)
+@settings(max_examples=30)
+def test_bin_rate_conserves_mass(events, width):
+    bins = bin_rate(events, bin_width=width)
+    total_binned = sum(rate * width for _, rate in bins)
+    assert total_binned == pytest.approx(sum(a for _, a in events), rel=1e-6)

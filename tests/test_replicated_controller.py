@@ -1,0 +1,99 @@
+"""Tests for control-plane failover (paper §VII dependability)."""
+
+import pytest
+
+from repro.core import ParallelPrefetcher, PrismaAutotunePolicy, PrismaStage
+from repro.core.control import ReplicatedController
+from repro.dataset import tiny_dataset
+from repro.simcore import RandomStreams, Simulator
+from repro.storage import BlockDevice, Filesystem, PosixLayer, sata_hdd
+
+
+def make_ha_stack(period=1e-3, failover_multiplier=3.0):
+    streams = RandomStreams(0)
+    sim = Simulator()
+    fs = Filesystem(sim, BlockDevice(sim, sata_hdd()))
+    split = tiny_dataset(streams, n_train=256, n_val=8)
+    split.materialize(fs)
+    posix = PosixLayer(sim, fs)
+    prefetcher = ParallelPrefetcher(sim, posix, producers=1, buffer_capacity=64, max_producers=8)
+    stage = PrismaStage(sim, posix, [prefetcher])
+    ha = ReplicatedController(sim, period=period, failover_multiplier=failover_multiplier)
+    ha.register(stage, PrismaAutotunePolicy(), PrismaAutotunePolicy())
+    return sim, stage, prefetcher, ha, split
+
+
+def consume_all(sim, stage, split):
+    def consumer():
+        stage.load_epoch(split.train.filenames())
+        for path in split.train.filenames():
+            yield stage.read_whole(path)
+
+    return sim.process(consumer())
+
+
+def test_failover_keeps_training_alive():
+    sim, stage, pf, ha, split = make_ha_stack()
+    ha.start()
+    ha.schedule_primary_failure(at=0.02)
+    p = consume_all(sim, stage, split)
+    sim.run(until=p)
+    ha.stop()
+    assert p.ok
+    assert ha.failed_over
+    assert ha.failover_time is not None and ha.failover_time > 0.02
+    # The standby took over and kept tuning.
+    assert ha.standby.cycles > 0
+    assert ha.active is ha.standby
+
+
+def test_no_failover_when_primary_healthy():
+    sim, stage, pf, ha, split = make_ha_stack()
+    ha.start()
+    p = consume_all(sim, stage, split)
+    sim.run(until=p)
+    ha.stop()
+    assert not ha.failed_over
+    assert ha.standby.cycles == 0
+    assert ha.active is ha.primary
+    assert ha.primary.cycles > 0
+
+
+def test_failover_detection_latency_bounded():
+    sim, stage, pf, ha, split = make_ha_stack(period=1e-3, failover_multiplier=3.0)
+    ha.start()
+    kill_at = 0.01
+    ha.schedule_primary_failure(at=kill_at)
+    p = consume_all(sim, stage, split)
+    sim.run(until=p)
+    ha.stop()
+    assert ha.failed_over
+    # Detection within (multiplier + 2) periods of the crash.
+    assert ha.failover_time - kill_at <= 5e-3 + 1e-9
+
+
+def test_data_plane_never_blocks_on_dead_controller():
+    """A controller outage only freezes tuning; reads keep flowing."""
+    sim, stage, pf, ha, split = make_ha_stack(period=1e-3, failover_multiplier=1e9)
+    ha.start()
+    ha.schedule_primary_failure(at=0.005)  # and never fail over
+    p = consume_all(sim, stage, split)
+    sim.run(until=p)
+    ha.stop()
+    assert p.ok
+    assert pf.files_fetched == len(split.train)
+    assert not ha.failed_over
+
+
+def test_replicated_register_policy_pairing_enforced():
+    sim = Simulator()
+    ha = ReplicatedController(sim, period=1.0)
+    stage = PrismaStage(sim, backend=None, optimizations=[])
+    with pytest.raises(ValueError):
+        ha.register(stage, PrismaAutotunePolicy(), None)
+
+
+def test_replicated_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ReplicatedController(sim, period=1.0, failover_multiplier=1.0)

@@ -1,0 +1,329 @@
+"""Unit tests for stores, resources, locks, and containers."""
+
+import pytest
+
+from repro.simcore import (
+    Container,
+    FilterStore,
+    Lock,
+    Resource,
+    SimulationError,
+    Simulator,
+    Store,
+)
+
+
+# ---------------------------------------------------------------- Store
+def test_store_fifo_ordering():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer(sim, store):
+        for i in range(5):
+            yield store.put(i)
+
+    def consumer(sim, store):
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_store_capacity_blocks_producer():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    timeline = []
+
+    def producer(sim, store):
+        for i in range(4):
+            yield store.put(i)
+            timeline.append(("put", i, sim.now))
+
+    def consumer(sim, store):
+        yield sim.timeout(10.0)
+        for _ in range(4):
+            yield store.get()
+            yield sim.timeout(10.0)
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    # First two puts are immediate; the rest wait for consumer gets.
+    assert timeline[0] == ("put", 0, 0.0)
+    assert timeline[1] == ("put", 1, 0.0)
+    assert timeline[2][2] == 10.0
+    assert timeline[3][2] == 20.0
+
+
+def test_store_get_blocks_until_item():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim, store):
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    def producer(sim, store):
+        yield sim.timeout(5.0)
+        yield store.put("x")
+
+    sim.process(consumer(sim, store))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert got == [("x", 5.0)]
+
+
+def test_store_invalid_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+def test_store_peak_and_level_tracking():
+    sim = Simulator()
+    store = Store(sim, capacity=10)
+
+    def producer(sim, store):
+        for i in range(7):
+            yield store.put(i)
+
+    sim.process(producer(sim, store))
+    sim.run()
+    assert store.level == 7
+    assert store.peak_items == 7
+
+
+def test_store_mean_occupancy_time_weighted():
+    sim = Simulator()
+    store = Store(sim, capacity=10)
+
+    def scenario(sim, store):
+        yield store.put("a")  # level 1 from t=0
+        yield sim.timeout(10.0)
+        yield store.put("b")  # level 2 from t=10
+        yield sim.timeout(10.0)
+
+    sim.process(scenario(sim, store))
+    sim.run()
+    # 10 s at level 1 + 10 s at level 2 = mean 1.5
+    assert store.mean_occupancy() == pytest.approx(1.5)
+
+
+# ---------------------------------------------------------------- FilterStore
+def test_filterstore_get_by_predicate():
+    sim = Simulator()
+    store = FilterStore(sim)
+    got = []
+
+    def producer(sim, store):
+        for name in ("a", "b", "c"):
+            yield store.put(name)
+
+    def consumer(sim, store):
+        item = yield store.get(lambda x: x == "c")
+        got.append(item)
+
+    sim.process(consumer(sim, store))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert got == ["c"]
+    assert list(store.items) == ["a", "b"]
+
+
+def test_filterstore_later_getter_can_overtake():
+    sim = Simulator()
+    store = FilterStore(sim)
+    got = []
+
+    def wait_for(sim, store, key, tag):
+        item = yield store.get(lambda x, key=key: x == key)
+        got.append((tag, item, sim.now))
+
+    def producer(sim, store):
+        yield sim.timeout(1.0)
+        yield store.put("late")  # matches the *second* getter
+
+    sim.process(wait_for(sim, store, "never", "first"))
+    sim.process(wait_for(sim, store, "late", "second"))
+    sim.process(producer(sim, store))
+    sim.run(until=5.0)
+    assert got == [("second", "late", 1.0)]
+
+
+def test_filterstore_plain_get_still_fifo():
+    sim = Simulator()
+    store = FilterStore(sim)
+    got = []
+
+    def scenario(sim, store):
+        yield store.put(1)
+        yield store.put(2)
+        got.append((yield store.get()))
+        got.append((yield store.get()))
+
+    sim.process(scenario(sim, store))
+    sim.run()
+    assert got == [1, 2]
+
+
+# ---------------------------------------------------------------- Resource / Lock
+def test_resource_capacity_enforced():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    active = []
+    peaks = []
+
+    def worker(sim, res):
+        req = yield res.request()
+        active.append(1)
+        peaks.append(len(active))
+        yield sim.timeout(5.0)
+        active.pop()
+        res.release(req)
+
+    for _ in range(6):
+        sim.process(worker(sim, res))
+    sim.run()
+    assert max(peaks) <= 2
+    assert sim.now == 15.0  # 6 workers / 2 slots * 5 s
+
+
+def test_resource_release_unowned_rejected():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def worker(sim, res):
+        req = yield res.request()
+        res.release(req)
+        with pytest.raises(SimulationError):
+            res.release(req)
+        yield sim.timeout(0)
+
+    sim.process(worker(sim, res))
+    sim.run()
+
+
+def test_resource_utilization_metering():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def worker(sim, res):
+        req = yield res.request()
+        yield sim.timeout(4.0)
+        res.release(req)
+        yield sim.timeout(6.0)  # idle tail
+
+    sim.process(worker(sim, res))
+    sim.run()
+    assert res.utilization() == pytest.approx(0.4)
+
+
+def test_lock_mutual_exclusion_and_wait_accounting():
+    sim = Simulator()
+    lock = Lock(sim)
+    inside = []
+
+    def worker(sim, lock, tag):
+        req = lock.acquire()
+        yield req
+        inside.append(tag)
+        assert len(inside) == 1
+        yield sim.timeout(2.0)
+        inside.remove(tag)
+        lock.release(req)
+
+    for tag in range(3):
+        sim.process(worker(sim, lock, tag))
+    sim.run()
+    assert sim.now == 6.0
+    # Waits: 0 + 2 + 4 = 6 over 3 acquisitions.
+    assert lock.mean_wait() == pytest.approx(2.0)
+
+
+def test_lock_locked_property():
+    sim = Simulator()
+    lock = Lock(sim)
+
+    def worker(sim, lock):
+        req = lock.acquire()
+        yield req
+        assert lock.locked
+        lock.release(req)
+        assert not lock.locked
+
+    sim.process(worker(sim, lock))
+    sim.run()
+
+
+# ---------------------------------------------------------------- Container
+def test_container_levels():
+    sim = Simulator()
+    c = Container(sim, capacity=100, init=50)
+
+    def scenario(sim, c):
+        yield c.get(30)
+        assert c.level == 20
+        yield c.put(60)
+        assert c.level == 80
+
+    sim.process(scenario(sim, c))
+    sim.run()
+
+
+def test_container_get_blocks_until_level():
+    sim = Simulator()
+    c = Container(sim, capacity=100, init=0)
+    got = []
+
+    def getter(sim, c):
+        yield c.get(40)
+        got.append(sim.now)
+
+    def putter(sim, c):
+        yield sim.timeout(3.0)
+        yield c.put(25)
+        yield sim.timeout(3.0)
+        yield c.put(25)
+
+    sim.process(getter(sim, c))
+    sim.process(putter(sim, c))
+    sim.run()
+    assert got == [6.0]
+
+
+def test_container_put_blocks_at_capacity():
+    sim = Simulator()
+    c = Container(sim, capacity=10, init=8)
+    done = []
+
+    def putter(sim, c):
+        yield c.put(5)
+        done.append(sim.now)
+
+    def getter(sim, c):
+        yield sim.timeout(4.0)
+        yield c.get(5)
+
+    sim.process(putter(sim, c))
+    sim.process(getter(sim, c))
+    sim.run()
+    assert done == [4.0]
+
+
+def test_container_invalid_args():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Container(sim, capacity=0)
+    with pytest.raises(ValueError):
+        Container(sim, capacity=10, init=11)
+    c = Container(sim, capacity=10)
+    with pytest.raises(ValueError):
+        c.get(11)
+    with pytest.raises(ValueError):
+        c.put(-1)

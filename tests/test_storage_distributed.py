@@ -1,0 +1,112 @@
+"""Unit tests for the distributed PFS model."""
+
+import pytest
+
+from repro.simcore import Simulator
+from repro.storage import (
+    DistributedFilesystem,
+    FileExists,
+    FileNotFound,
+    GiB,
+    MiB,
+    ramdisk,
+)
+
+
+@pytest.fixture()
+def pfs_env():
+    sim = Simulator()
+    pfs = DistributedFilesystem(sim, n_targets=4, target_profile=ramdisk())
+    return sim, pfs
+
+
+def test_namespace_operations(pfs_env):
+    _, pfs = pfs_env
+    pfs.create("/x", 100)
+    assert pfs.exists("/x")
+    assert pfs.stat("/x").size == 100
+    with pytest.raises(FileExists):
+        pfs.create("/x", 1)
+    with pytest.raises(FileNotFound):
+        pfs.stat("/missing")
+    assert pfs.file_count == 1
+    assert pfs.total_bytes() == 100
+
+
+def test_placement_is_stable_and_spread(pfs_env):
+    _, pfs = pfs_env
+    for i in range(400):
+        pfs.create(f"/data/{i}", 10)
+    # Every target owns some files; hash placement is reasonably even.
+    counts = [t.file_count for t in pfs.targets]
+    assert all(c > 0 for c in counts)
+    assert pfs.load_imbalance() < 1.5
+    # Stability: target_of agrees with the recorded placement.
+    t = pfs.target_of("/data/7")
+    assert pfs.target_of("/data/7") is t
+
+
+def test_read_includes_rpc_latency():
+    sim = Simulator()
+    pfs = DistributedFilesystem(
+        sim, n_targets=1, target_profile=ramdisk(), rpc_latency=1e-3
+    )
+    pfs.create("/a", 1)
+    ev = pfs.read_file("/a")
+    sim.run()
+    assert ev.value == 1
+    assert sim.now >= 1e-3
+
+
+def test_read_clamps_and_counts(pfs_env):
+    sim, pfs = pfs_env
+    pfs.create("/a", 100)
+    ev = pfs.read("/a", offset=50, length=500)
+    sim.run()
+    assert ev.value == 50
+    assert pfs.counters.get("reads") == 1
+    assert pfs.counters.get("read_bytes") == 50
+
+
+def test_network_is_shared_bottleneck():
+    """Many clients on a thin link take longer than on a fat link."""
+
+    def run(bandwidth):
+        sim = Simulator()
+        pfs = DistributedFilesystem(
+            sim,
+            n_targets=8,
+            target_profile=ramdisk(),
+            network_bandwidth=bandwidth,
+            rpc_latency=0.0,
+        )
+        for i in range(32):
+            pfs.create(f"/f{i}", 4 * MiB)
+
+        def client(i):
+            yield pfs.read_file(f"/f{i}")
+
+        for i in range(32):
+            sim.process(client(i))
+        sim.run()
+        return sim.now
+
+    slow = run(0.5 * GiB)
+    fast = run(50 * GiB)
+    assert slow > fast * 5
+
+
+def test_list_prefix(pfs_env):
+    _, pfs = pfs_env
+    pfs.create("/t/1", 1)
+    pfs.create("/t/0", 1)
+    pfs.create("/v/0", 1)
+    assert pfs.list_prefix("/t/") == ["/t/0", "/t/1"]
+
+
+def test_invalid_construction():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        DistributedFilesystem(sim, n_targets=0)
+    with pytest.raises(ValueError):
+        DistributedFilesystem(sim, rpc_latency=-1.0)

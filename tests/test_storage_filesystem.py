@@ -1,0 +1,306 @@
+"""Unit tests for filesystem, page cache, POSIX layer, and devices."""
+
+import pytest
+
+from repro.simcore import Simulator
+from repro.storage import (
+    BadFileDescriptor,
+    BlockDevice,
+    FileExists,
+    FileNotFound,
+    Filesystem,
+    KiB,
+    MiB,
+    PageCache,
+    PosixLayer,
+    intel_p4600,
+    ramdisk,
+    sata_hdd,
+)
+
+
+@pytest.fixture()
+def fs_env():
+    sim = Simulator()
+    dev = BlockDevice(sim, ramdisk())
+    fs = Filesystem(sim, dev)
+    return sim, dev, fs
+
+
+# ---------------------------------------------------------------- namespace
+def test_create_stat_exists(fs_env):
+    sim, dev, fs = fs_env
+    fs.create("/a", 100)
+    assert fs.exists("/a")
+    assert fs.stat("/a").size == 100
+    assert not fs.exists("/b")
+
+
+def test_create_duplicate_rejected(fs_env):
+    _, _, fs = fs_env
+    fs.create("/a", 1)
+    with pytest.raises(FileExists):
+        fs.create("/a", 2)
+
+
+def test_stat_missing_raises(fs_env):
+    _, _, fs = fs_env
+    with pytest.raises(FileNotFound):
+        fs.stat("/missing")
+
+
+def test_unlink_removes(fs_env):
+    _, _, fs = fs_env
+    fs.create("/a", 1)
+    fs.unlink("/a")
+    assert not fs.exists("/a")
+    with pytest.raises(FileNotFound):
+        fs.unlink("/a")
+
+
+def test_list_prefix_sorted(fs_env):
+    _, _, fs = fs_env
+    for p in ("/train/2", "/train/1", "/val/1"):
+        fs.create(p, 1)
+    assert fs.list_prefix("/train/") == ["/train/1", "/train/2"]
+
+
+def test_totals(fs_env):
+    _, _, fs = fs_env
+    fs.create_many([("/a", 10), ("/b", 30)])
+    assert fs.file_count == 2
+    assert fs.total_bytes() == 40
+
+
+def test_negative_size_rejected(fs_env):
+    _, _, fs = fs_env
+    with pytest.raises(ValueError):
+        fs.create("/bad", -1)
+
+
+# ---------------------------------------------------------------- reads
+def test_read_whole_file_returns_size(fs_env):
+    sim, _, fs = fs_env
+    fs.create("/a", 5000)
+    ev = fs.read_file("/a")
+    sim.run()
+    assert ev.value == 5000
+
+
+def test_read_clamped_at_eof(fs_env):
+    sim, _, fs = fs_env
+    fs.create("/a", 100)
+    ev = fs.read("/a", offset=60, length=400)
+    sim.run()
+    assert ev.value == 40
+
+
+def test_read_past_eof_returns_zero(fs_env):
+    sim, _, fs = fs_env
+    fs.create("/a", 100)
+    ev = fs.read("/a", offset=100, length=10)
+    sim.run()
+    assert ev.value == 0
+
+
+def test_read_negative_offset_rejected(fs_env):
+    _, _, fs = fs_env
+    fs.create("/a", 100)
+    from repro.storage import InvalidRead
+
+    with pytest.raises(InvalidRead):
+        fs.read("/a", offset=-1)
+
+
+def test_read_takes_simulated_time(fs_env):
+    sim, _, fs = fs_env
+    fs.create("/a", 10 * MiB)
+    ev = fs.read_file("/a")
+    sim.run()
+    assert ev.ok
+    assert sim.now > 0
+
+
+def test_larger_reads_take_longer():
+    times = []
+    for size in (1 * MiB, 50 * MiB):
+        sim = Simulator()
+        fs = Filesystem(sim, BlockDevice(sim, intel_p4600()))
+        fs.create("/a", size)
+        fs.read_file("/a")
+        sim.run()
+        times.append(sim.now)
+    assert times[1] > times[0]
+
+
+def test_write_extends_file(fs_env):
+    sim, _, fs = fs_env
+    fs.create("/a", 0)
+    ev = fs.write("/a", 100, offset=0)
+    sim.run()
+    assert ev.value == 100
+    assert fs.stat("/a").size == 100
+
+
+# ---------------------------------------------------------------- page cache
+def test_cache_hit_faster_than_miss():
+    sim = Simulator()
+    cache = PageCache(sim, capacity_bytes=10 * MiB)
+    fs = Filesystem(sim, BlockDevice(sim, sata_hdd()), cache=cache)
+    fs.create("/a", 1 * MiB)
+
+    def scenario():
+        t0 = sim.now
+        yield fs.read_file("/a")
+        miss_time = sim.now - t0
+        t0 = sim.now
+        yield fs.read_file("/a")
+        hit_time = sim.now - t0
+        return miss_time, hit_time
+
+    p = sim.process(scenario())
+    sim.run()
+    miss_time, hit_time = p.value
+    assert hit_time < miss_time / 10
+    assert cache.hit_rate() == pytest.approx(0.5)
+
+
+def test_cache_lru_eviction():
+    sim = Simulator()
+    cache = PageCache(sim, capacity_bytes=250)
+    for path, size in (("/a", 100), ("/b", 100)):
+        cache.insert(path, size)
+    cache.lookup("/a")  # refresh /a
+    cache.insert("/c", 100)  # evicts /b (LRU)
+    assert "/a" in cache
+    assert "/b" not in cache
+    assert "/c" in cache
+    assert cache.counters.get("evictions") == 1
+
+
+def test_cache_oversize_file_skipped():
+    sim = Simulator()
+    cache = PageCache(sim, capacity_bytes=100)
+    cache.insert("/big", 500)
+    assert "/big" not in cache
+    assert cache.counters.get("uncacheable") == 1
+
+
+def test_cache_disabled_never_hits():
+    sim = Simulator()
+    cache = PageCache(sim, capacity_bytes=0)
+    fs = Filesystem(sim, BlockDevice(sim, ramdisk()), cache=cache)
+    fs.create("/a", 1000)
+
+    def scenario():
+        yield fs.read_file("/a")
+        yield fs.read_file("/a")
+
+    sim.process(scenario())
+    sim.run()
+    assert cache.hit_rate() == 0.0
+
+
+def test_cache_invalidate():
+    sim = Simulator()
+    cache = PageCache(sim, capacity_bytes=1000)
+    cache.insert("/a", 100)
+    cache.invalidate("/a")
+    assert "/a" not in cache
+    assert cache.used_bytes == 0
+
+
+# ---------------------------------------------------------------- POSIX layer
+def test_posix_open_read_close(fs_env):
+    sim, _, fs = fs_env
+    fs.create("/a", 1000)
+    posix = PosixLayer(sim, fs)
+    fd = posix.open("/a")
+    assert posix.fstat_size(fd) == 1000
+    ev = posix.pread(fd, 1000, 0)
+    sim.run()
+    assert ev.value == 1000
+    posix.close(fd)
+    assert posix.open_count == 0
+
+
+def test_posix_sequential_read_advances_offset(fs_env):
+    sim, _, fs = fs_env
+    fs.create("/a", 100)
+    posix = PosixLayer(sim, fs)
+    fd = posix.open("/a")
+
+    def scenario():
+        first = yield posix.read(fd, 60)
+        second = yield posix.read(fd, 60)
+        third = yield posix.read(fd, 60)
+        return first, second, third
+
+    p = sim.process(scenario())
+    sim.run()
+    assert p.value == (60, 40, 0)
+
+
+def test_posix_bad_fd_rejected(fs_env):
+    sim, _, fs = fs_env
+    posix = PosixLayer(sim, fs)
+    with pytest.raises(BadFileDescriptor):
+        posix.pread(99, 10, 0)
+    with pytest.raises(BadFileDescriptor):
+        posix.close(99)
+
+
+def test_posix_open_missing_file_raises(fs_env):
+    sim, _, fs = fs_env
+    posix = PosixLayer(sim, fs)
+    with pytest.raises(FileNotFound):
+        posix.open("/missing")
+
+
+def test_posix_read_whole_convenience(fs_env):
+    sim, _, fs = fs_env
+    fs.create("/a", 777)
+    posix = PosixLayer(sim, fs)
+    ev = posix.read_whole("/a")
+    sim.run()
+    assert ev.value == 777
+    assert posix.open_count == 0  # auto-closed
+
+
+# ---------------------------------------------------------------- device profiles
+def test_profile_validation():
+    from repro.storage import DeviceProfile
+
+    with pytest.raises(ValueError):
+        DeviceProfile("bad", -1, 1, 1, 1, 0, 0)
+    with pytest.raises(ValueError):
+        DeviceProfile("bad", 1, 1, 1, 1, -1, 0)
+    with pytest.raises(ValueError):
+        DeviceProfile("bad", 1, 1, 1, 1, 0, 0, max_queue_depth=0)
+
+
+def test_p4600_single_stream_anchor():
+    """Paper anchor: ~330 MiB/s for one reader on ~110 KiB files."""
+    prof = intel_p4600()
+    rate = prof.effective_read_throughput(113 * KiB, 1)
+    assert 300 * MiB < rate < 380 * MiB
+
+
+def test_p4600_parallel_scaling_anchor():
+    """Paper anchor: parallelism helps ~3x by 4-8 threads, then flattens."""
+    prof = intel_p4600()
+    agg1 = prof.effective_read_throughput(113 * KiB, 1) * 1
+    agg4 = prof.effective_read_throughput(113 * KiB, 4) * 4
+    agg30 = prof.effective_read_throughput(113 * KiB, 30) * 30
+    assert 2.0 < agg4 / agg1 < 3.5
+    assert agg30 / agg4 < 2.5  # diminishing returns past the knee
+
+
+def test_device_counters(fs_env):
+    sim, dev, fs = fs_env
+    fs.create("/a", 100)
+    fs.read_file("/a")
+    sim.run()
+    assert dev.counters.get("reads") == 1
+    assert dev.counters.get("read_bytes") == 100
+    assert dev.bytes_read() == pytest.approx(100)
