@@ -10,14 +10,39 @@ Consumers request samples *by path*; requests for samples not yet produced
 block until the producer delivers them (out-of-order consumers — PyTorch's
 round-robin workers — are each unblocked individually).  Capacity is
 dynamic: the control plane retargets ``N`` at run time.
+
+Internals (this is the data plane's hot path — paper §IV argues a buffer
+hit must cost no more than a memory copy):
+
+* Storage is a :class:`~repro.simcore.resources.KeyedStore`: items live in
+  a dict keyed by path and each blocked consumer parks on a *per-path*
+  waiter list, so ``insert``/``request``/``contains`` are all O(1).  (The
+  previous :class:`~repro.simcore.resources.FilterStore` backing re-scanned
+  every queued getter against every buffered item per dispatch —
+  O(getters × items), quadratic over an epoch at the paper's scale.)
+* **Duplicate requests fail fast.**  Evict-on-read plus read-once-per-epoch
+  means a path can be delivered to exactly one consumer per epoch.  A
+  second ``request`` for a path that is already being waited on, or that
+  was already consumed this epoch, can never be satisfied — instead of
+  deadlocking it fails immediately with
+  :class:`~repro.simcore.errors.DuplicateRequestError`.  ``begin_epoch``
+  resets the consumed-path tracking when a new epoch's filename list is
+  installed.
+* **Staged-error contract.**  Producers deliver backend read *failures*
+  through the buffer too (otherwise the consumer waiting on that path would
+  block forever): ``insert`` accepts an :class:`Exception` payload in place
+  of the byte count.  Such inserts are counted as ``insert_errors`` (vs
+  ``inserts``) and the exception instance becomes the request event's
+  value; the prefetcher turns it into a failed ``serve`` event.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Tuple
+from typing import TYPE_CHECKING, Set, Tuple, Union
 
+from ..simcore.errors import DuplicateRequestError
 from ..simcore.event import Event
-from ..simcore.resources import FilterStore
+from ..simcore.resources import KeyedStore
 from ..simcore.tracing import CounterSet, TimeWeightedGauge
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -28,16 +53,31 @@ MEMORY_BANDWIDTH = 6.0e9
 #: Fixed overhead of serving a sample out of the buffer (seconds).
 HIT_OVERHEAD = 5e-6
 
+#: What a producer may stage for a path: the sample's byte count, or the
+#: exception its backend read failed with (delivered to the consumer).
+SamplePayload = Union[int, Exception]
+
+
+def _validate_capacity(capacity: int) -> int:
+    if isinstance(capacity, bool) or not isinstance(capacity, int):
+        raise ValueError(f"capacity must be an int, got {capacity!r}")
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    return capacity
+
 
 class PrefetchBuffer:
     """Bounded, path-keyed sample buffer with evict-on-read semantics."""
 
     def __init__(self, sim: "Simulator", capacity: int, name: str = "prisma.buffer") -> None:
-        if capacity < 1:
-            raise ValueError("capacity must be >= 1")
         self.sim = sim
         self.name = name
-        self._store: FilterStore = FilterStore(sim, capacity=capacity, name=name)
+        self._store: KeyedStore = KeyedStore(
+            sim, capacity=_validate_capacity(capacity), name=name
+        )
+        #: paths already delivered to a consumer this epoch (evict-on-read:
+        #: a repeat request for one of these would block forever)
+        self._consumed: Set[str] = set()
         self.counters = CounterSet()
         #: time-weighted occupancy, consumed by the control loop
         self.occupancy = TimeWeightedGauge(sim, 0, name=f"{name}.occupancy")
@@ -45,13 +85,11 @@ class PrefetchBuffer:
     # -- capacity --------------------------------------------------------------
     @property
     def capacity(self) -> int:
-        return int(self._store.capacity)
+        return self._store.capacity
 
     def set_capacity(self, capacity: int) -> None:
         """Control-plane knob: retarget N (never evicts on shrink)."""
-        if capacity < 1:
-            raise ValueError("capacity must be >= 1")
-        self._store.set_capacity(capacity)
+        self._store.set_capacity(_validate_capacity(capacity))
 
     @property
     def level(self) -> int:
@@ -60,12 +98,29 @@ class PrefetchBuffer:
     def fill_fraction(self) -> float:
         return self.level / self.capacity
 
+    # -- epoch lifecycle ----------------------------------------------------------
+    def begin_epoch(self) -> None:
+        """Reset consumed-path tracking for a new epoch's filename list.
+
+        Every path becomes requestable again (the producers will re-stage
+        each one exactly once).  Buffered-but-unconsumed leftovers from the
+        previous epoch stay valid.
+        """
+        self._consumed.clear()
+
     # -- producer side ------------------------------------------------------------
-    def insert(self, path: str, nbytes: int) -> Event:
-        """Stage a produced sample; blocks (event-wise) while the buffer is full."""
-        self.counters.add("inserts")
+    def insert(self, path: str, payload: SamplePayload) -> Event:
+        """Stage a produced sample; blocks (event-wise) while the buffer is full.
+
+        ``payload`` is the sample's byte count, or — per the staged-error
+        contract — the exception the producer's backend read failed with.
+        """
+        if isinstance(payload, Exception):
+            self.counters.add("insert_errors")
+        else:
+            self.counters.add("inserts")
         done = Event(self.sim, name=f"{self.name}.insert")
-        inner = self._store.put((path, nbytes))
+        inner = self._store.put(path, payload)
 
         def settled(ev: Event) -> None:
             if ev.ok:
@@ -79,7 +134,7 @@ class PrefetchBuffer:
 
     # -- consumer side ------------------------------------------------------------
     def contains(self, path: str) -> bool:
-        return any(item[0] == path for item in self._store.items)
+        return self._store.contains(path)
 
     def request(self, path: str) -> Tuple[bool, Event]:
         """Consume (and evict) the sample for ``path``.
@@ -87,17 +142,44 @@ class PrefetchBuffer:
         Returns ``(hit, event)``: ``hit`` says whether the sample was already
         buffered at request time (a *miss* means the consumer stalls until a
         producer delivers it — the starvation signal the auto-tuner watches);
-        the event's value is the sample's byte count.
+        the event's value is the sample's byte count (or the staged
+        exception for a failed producer read).
+
+        A duplicate request — for a path another consumer is already
+        waiting on, or one already consumed this epoch — fails immediately
+        with :class:`DuplicateRequestError` instead of blocking forever.
         """
-        hit = self.contains(path)
+        hit = self._store.contains(path)
+        if not hit and path in self._consumed:
+            # The path is owned by an earlier request: either a consumer is
+            # still parked on it, or it was already delivered this epoch.
+            in_flight = self._store.waiting(path) > 0
+            self.counters.add("duplicate_requests")
+            done = Event(self.sim, name=f"{self.name}.req")
+            done.fail(
+                DuplicateRequestError(
+                    f"request({path!r}) on {self.name!r} can never be served: "
+                    + (
+                        "another consumer is already waiting for this path"
+                        if in_flight
+                        else "path was already consumed this epoch (evict-on-read)"
+                    )
+                    + "; each path is staged exactly once per epoch"
+                )
+            )
+            return False, done
         self.counters.add("hits" if hit else "waits")
+        # Claim the path *now* (not in the event callback): the claim is
+        # what makes a concurrent duplicate request fail fast instead of
+        # parking on a key that will never be re-staged.
+        self._consumed.add(path)
         done = Event(self.sim, name=f"{self.name}.req")
-        inner = self._store.get(lambda item: item[0] == path)
+        inner = self._store.get(path)
 
         def settled(ev: Event) -> None:
             if ev.ok:
                 self.occupancy.set(self.level)
-                done.succeed(ev._value[1])
+                done.succeed(ev.value)
             else:
                 done.fail(ev.exception)
 

@@ -119,14 +119,16 @@ class Controller:
             return
 
     def _cycle(self):
-        # Monitor: poll every stage (first optimization object's metrics
-        # represent the stage; multi-object stages aggregate upstream).
+        # Monitor: poll every stage.  Multi-object stages report one
+        # snapshot per optimization object; record their aggregate
+        # (summed counters, last-writer gauges) so no object's traffic is
+        # silently dropped from the history.
         for reg in self._registrations:
             snapshots: List[MetricsSnapshot] = yield reg.channel.call(
                 reg.stage.control_snapshot
             )
             if snapshots:
-                reg.history.append(snapshots[0])
+                reg.history.append(MetricsSnapshot.aggregate(snapshots))
 
         # Decide + enforce.
         if self.global_policy is not None:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from ..simcore.event import Event
 
@@ -57,6 +57,34 @@ class MetricsSnapshot:
     producers_active: float = 0.0
     bytes_fetched: float = 0.0
     queue_remaining: int = 0
+
+    @classmethod
+    def aggregate(cls, snapshots: "Sequence[MetricsSnapshot]") -> "MetricsSnapshot":
+        """Combine the per-object snapshots of a multi-object stage.
+
+        Counter-like fields (``requests``, ``hits``, ``waits``,
+        ``bytes_fetched``) are summed across objects; gauge-like fields
+        (buffer level/capacity, producer counts, queue backlog) take the
+        last object's value (last-writer-wins, matching the stage's
+        object order); ``time`` is the latest poll time.
+        """
+        if not snapshots:
+            raise ValueError("aggregate() needs at least one snapshot")
+        if len(snapshots) == 1:
+            return snapshots[0]
+        last = snapshots[-1]
+        return cls(
+            time=max(s.time for s in snapshots),
+            requests=sum(s.requests for s in snapshots),
+            hits=sum(s.hits for s in snapshots),
+            waits=sum(s.waits for s in snapshots),
+            buffer_level=last.buffer_level,
+            buffer_capacity=last.buffer_capacity,
+            producers_allocated=last.producers_allocated,
+            producers_active=last.producers_active,
+            bytes_fetched=sum(s.bytes_fetched for s in snapshots),
+            queue_remaining=last.queue_remaining,
+        )
 
     def starvation(self, previous: Optional["MetricsSnapshot"] = None) -> float:
         """Fraction of consumer requests that stalled (since ``previous``)."""

@@ -90,6 +90,9 @@ class ParallelPrefetcher(OptimizationObject):
     def on_epoch(self, paths: Iterable[str]) -> None:
         """Install the shared shuffled filenames list and start prefetching."""
         self.queue.load(paths)
+        # New epoch: every path becomes requestable again (the buffer's
+        # duplicate-request detection tracks consumption per epoch).
+        self.buffer.begin_epoch()
         self._spawn_up_to_target()
 
     def _spawn_up_to_target(self) -> None:
@@ -115,7 +118,8 @@ class ParallelPrefetcher(OptimizationObject):
                     payload = yield self.backend.read_whole(path)
                 except Exception as exc:  # noqa: BLE001 - deliver, don't die
                     # A failed read must reach the consumer waiting for this
-                    # path (or it would block forever); stage the exception.
+                    # path (or it would block forever); stage the exception —
+                    # the buffer's documented staged-error contract.
                     self.read_errors += 1
                     payload = exc
                 finally:
@@ -130,7 +134,13 @@ class ParallelPrefetcher(OptimizationObject):
 
     # -- data path --------------------------------------------------------------
     def serve(self, path: str) -> Optional[Event]:
-        """Serve a read from the buffer, or decline for uncovered paths."""
+        """Serve a read from the buffer, or decline for uncovered paths.
+
+        The returned event fails (rather than blocking forever) when the
+        buffer rejects the request as a duplicate — a second consumer asking
+        for an in-flight or already-evicted path — and when a producer
+        staged a backend read failure for this path.
+        """
         if not self.queue.covers(path):
             return None  # e.g. validation files: fall through to backend
         hit, fetched = self.buffer.request(path)
@@ -140,7 +150,7 @@ class ParallelPrefetcher(OptimizationObject):
             if not ev.ok:
                 done.fail(ev.exception)
                 return
-            nbytes = ev._value
+            nbytes = ev.value
             if isinstance(nbytes, Exception):
                 # A producer staged its read failure for this path.
                 done.fail(nbytes)
@@ -152,7 +162,7 @@ class ParallelPrefetcher(OptimizationObject):
 
             proc = self.sim.process(copy_out(), name=f"{self.name}.copy")
             proc.add_callback(
-                lambda p: done.succeed(p._value) if p.ok else done.fail(p.exception)
+                lambda p: done.succeed(p.value) if p.ok else done.fail(p.exception)
             )
 
         fetched.add_callback(after_fetch)

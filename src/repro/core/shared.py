@@ -60,7 +60,7 @@ class _SharedBuffer:
 
     @property
     def capacity(self) -> int:
-        return int(self._store.capacity)
+        return self._store.capacity  # Store normalizes finite capacities to int
 
     def set_capacity(self, capacity: int) -> None:
         if capacity < 1:
@@ -242,7 +242,7 @@ class SharedDatasetPrefetcher(OptimizationObject):
             if not ev.ok:
                 done.fail(ev.exception)
                 return
-            payload = ev._value
+            payload = ev.value
             if isinstance(payload, Exception):
                 done.fail(payload)
                 return
@@ -253,7 +253,7 @@ class SharedDatasetPrefetcher(OptimizationObject):
 
             proc = self.sim.process(copy_out(), name=f"{self.name}.copy")
             proc.add_callback(
-                lambda p: done.succeed(p._value) if p.ok else done.fail(p.exception)
+                lambda p: done.succeed(p.value) if p.ok else done.fail(p.exception)
             )
 
         fetched.add_callback(after_fetch)

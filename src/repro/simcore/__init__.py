@@ -7,13 +7,16 @@ control planes).  It provides:
 * :class:`Simulator` — the event loop and clock.
 * :class:`Process` — generator-based cooperative processes.
 * Events: :class:`Event`, :class:`Timeout`, :class:`AnyOf`, :class:`AllOf`.
-* Resources: :class:`Store`, :class:`FilterStore`, :class:`Resource`,
-  :class:`Lock`, :class:`Container`.
+* Resources: :class:`Store`, :class:`FilterStore`, :class:`KeyedStore`
+  (O(1) key-addressed buffering over a :class:`KeyedIndex`),
+  :class:`Resource`, :class:`Lock`, :class:`Container`.
 * Telemetry: :class:`Tracer`, :class:`TimeWeightedGauge`, :class:`CounterSet`.
 * :class:`RandomStreams` — named deterministic RNG streams.
 """
 
 from .errors import (
+    DuplicateKeyError,
+    DuplicateRequestError,
     EventAlreadyTriggered,
     Interrupt,
     ProcessError,
@@ -27,6 +30,10 @@ from .random import RandomStreams
 from .resources import (
     Container,
     FilterStore,
+    KeyedIndex,
+    KeyedStore,
+    KeyedStoreGet,
+    KeyedStorePut,
     Lock,
     Resource,
     ResourceRequest,
@@ -41,11 +48,17 @@ __all__ = [
     "AnyOf",
     "Container",
     "CounterSet",
+    "DuplicateKeyError",
+    "DuplicateRequestError",
     "Event",
     "EventAlreadyTriggered",
     "FilterStore",
     "GaugeSample",
     "Interrupt",
+    "KeyedIndex",
+    "KeyedStore",
+    "KeyedStoreGet",
+    "KeyedStorePut",
     "Lock",
     "Process",
     "ProcessError",

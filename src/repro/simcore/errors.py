@@ -24,6 +24,25 @@ class EventAlreadyTriggered(SchedulingError):
     """``succeed``/``fail`` was called on an event that already fired."""
 
 
+class DuplicateKeyError(SimulationError):
+    """A keyed store was asked to admit a key it already holds.
+
+    Keyed stores index exactly one item per key; a second ``put`` for a
+    present key fails fast (the event is failed with this error) instead of
+    silently shadowing or re-ordering the first item.
+    """
+
+
+class DuplicateRequestError(SimulationError):
+    """A second consumer requested a key that can never be delivered again.
+
+    Raised (as a failed event) by evict-on-read buffers when a key is
+    requested while another consumer already waits for it, or after it was
+    already consumed this epoch — both cases would otherwise block forever
+    because the producer stages each file exactly once per epoch.
+    """
+
+
 class StopSimulation(SimulationError):
     """Raised internally to halt :meth:`Simulator.run` early.
 

@@ -3,8 +3,15 @@
 Provides the building blocks the storage and framework simulators need:
 
 * :class:`Store` — bounded FIFO of items (producer/consumer buffer).
-* :class:`FilterStore` — like ``Store`` but ``get`` takes a predicate; used
-  to model keyed buffers (a consumer waits for a *specific* file).
+* :class:`FilterStore` — like ``Store`` but ``get`` takes a predicate; kept
+  for generic predicates, but each dispatch re-evaluates every queued getter
+  against every buffered item — O(getters × items).
+* :class:`KeyedStore` — the fast path for key-addressed buffers: items
+  indexed by key in a dict with per-key waiter lists, so ``put``/``get`` by
+  key are O(1).  PRISMA's prefetch buffer and the page cache ride on this.
+* :class:`KeyedIndex` — the synchronous ordered key→item map underneath
+  :class:`KeyedStore`, reusable wherever O(1) keyed lookup with FIFO/LRU
+  ordering is needed without event semantics.
 * :class:`Resource` — counted semaphore with FIFO queuing and usage stats.
 * :class:`Lock` — a 1-capacity resource with wait-time accounting, so
   contention (e.g., PRISMA's shared-buffer lock under many PyTorch workers)
@@ -14,14 +21,44 @@ Provides the building blocks the storage and framework simulators need:
 
 from __future__ import annotations
 
-from collections import deque
-from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional
+import math
+from collections import OrderedDict, deque
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
-from .errors import SimulationError
+from .errors import DuplicateKeyError, SimulationError
 from .event import Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .kernel import Simulator
+
+
+def _normalize_item_capacity(capacity: float) -> float:
+    """Validate a discrete-store capacity and normalize it to an int.
+
+    Discrete stores count items, so a finite capacity must be a whole
+    number; ``float("inf")`` (unbounded) is kept as-is.  Rejects zero,
+    negatives, NaN, and fractional floats like ``2.5``.
+    """
+    if isinstance(capacity, bool) or not isinstance(capacity, (int, float)):
+        raise ValueError(f"capacity must be a number, got {capacity!r}")
+    if math.isnan(capacity) or capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    if math.isinf(capacity):
+        return float("inf")
+    if capacity != int(capacity):
+        raise ValueError(f"item capacity must be integral, got {capacity}")
+    return int(capacity)
 
 
 class StorePut(Event):
@@ -56,10 +93,8 @@ class Store:
     """
 
     def __init__(self, sim: "Simulator", capacity: float = float("inf"), name: str = "store") -> None:
-        if capacity <= 0:
-            raise ValueError(f"capacity must be positive, got {capacity}")
         self.sim = sim
-        self.capacity = capacity
+        self.capacity = _normalize_item_capacity(capacity)
         self.name = name
         self.items: Deque[Any] = deque()
         self._putters: Deque[StorePut] = deque()
@@ -72,7 +107,7 @@ class Store:
     # -- statistics -----------------------------------------------------------
     def _account(self) -> None:
         now = self.sim.now
-        self._area += len(self.items) * (now - self._last_change)
+        self._area += self.level * (now - self._last_change)
         self._last_change = now
 
     def mean_occupancy(self) -> float:
@@ -80,7 +115,7 @@ class Store:
         self._account()
         elapsed = self.sim.now  # relative to t=0 by convention
         if elapsed <= 0:
-            return float(len(self.items))
+            return float(self.level)
         return self._area / elapsed
 
     @property
@@ -94,9 +129,7 @@ class Store:
         never evicts — the store simply blocks new puts until consumption
         drains below the new limit.
         """
-        if capacity <= 0:
-            raise ValueError(f"capacity must be positive, got {capacity}")
-        self.capacity = capacity
+        self.capacity = _normalize_item_capacity(capacity)
         self._dispatch()
 
     # -- operations -------------------------------------------------------------
@@ -189,6 +222,254 @@ class FilterStore(Store):
                 else:
                     remaining.append(getter)
             self._getters = remaining
+
+
+class KeyedIndex:
+    """Synchronous, insertion-ordered ``key -> item`` map with O(1) ops.
+
+    The storage layer shared by :class:`KeyedStore` (event-based keyed
+    buffer) and the OS page-cache model: a dict for O(1) lookup plus
+    ordering hooks (``touch`` for LRU recency, ``pop_oldest`` for FIFO/LRU
+    eviction).  Holds exactly one item per key; re-inserting a present key
+    raises :class:`~repro.simcore.errors.DuplicateKeyError`.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._entries)
+
+    def keys(self):
+        return self._entries.keys()
+
+    def items(self):
+        return self._entries.items()
+
+    def put(self, key: Hashable, item: Any) -> None:
+        if key in self._entries:
+            raise DuplicateKeyError(f"key {key!r} already present in index")
+        self._entries[key] = item
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Peek at the item for ``key`` without removing it."""
+        return self._entries.get(key, default)
+
+    def pop(self, key: Hashable) -> Any:
+        """Remove and return the item for ``key`` (KeyError if absent)."""
+        return self._entries.pop(key)
+
+    def discard(self, key: Hashable) -> Any:
+        """Remove the item for ``key`` if present; returns it or ``None``."""
+        return self._entries.pop(key, None)
+
+    def touch(self, key: Hashable) -> None:
+        """Mark ``key`` most-recently-used (moves it to the eviction tail)."""
+        self._entries.move_to_end(key)
+
+    def pop_oldest(self) -> Tuple[Hashable, Any]:
+        """Remove and return the (key, item) at the eviction head."""
+        return self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return f"<KeyedIndex {len(self._entries)} keys>"
+
+
+class KeyedStorePut(Event):
+    """Pending keyed ``put``; triggers when the item is admitted.
+
+    Fails with :class:`DuplicateKeyError` if the key is already buffered —
+    a keyed store holds exactly one item per key.
+    """
+
+    __slots__ = ("key", "item")
+
+    def __init__(self, store: "KeyedStore", key: Hashable, item: Any) -> None:
+        super().__init__(store.sim, name=f"kput:{store.name}")
+        self.key = key
+        self.item = item
+
+
+class KeyedStoreGet(Event):
+    """Pending keyed ``get``; triggers with the item for its key."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, store: "KeyedStore", key: Optional[Hashable]) -> None:
+        super().__init__(store.sim, name=f"kget:{store.name}")
+        self.key = key
+
+
+class KeyedStore(Store):
+    """Bounded store addressed by key: O(1) put, O(1) get-by-key.
+
+    This replaces :class:`FilterStore` on PRISMA's hot path.  Where the
+    filter store re-evaluates every queued getter against every buffered
+    item on each dispatch (O(getters × items) — quadratic across an epoch),
+    the keyed store holds items in a :class:`KeyedIndex` and parks each
+    getter on a *per-key* waiter list, so an insert wakes exactly the
+    consumers of that key.
+
+    Semantics:
+
+    * ``put(key, item)`` queues FIFO behind earlier putters and blocks
+      (event-wise) while the store is at capacity — producer fairness is
+      identical to :class:`Store`.  A put for a key that is already
+      buffered fails with :class:`DuplicateKeyError` instead of silently
+      shadowing the first item.
+    * ``get(key)`` triggers immediately when the key is buffered (evicting
+      the item) or parks on the key's waiter list until a producer delivers
+      it.  Waiters for the same key are served FIFO.
+    * ``get()`` (no key) takes the oldest buffered item, FIFO.
+
+    Keys must be hashable and not ``None`` (``None`` selects the any-key
+    FIFO path).
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf"), name: str = "kstore") -> None:
+        super().__init__(sim, capacity, name)
+        self.index = KeyedIndex()
+        self._waiters: Dict[Hashable, Deque[KeyedStoreGet]] = {}
+        self._any_waiters: Deque[KeyedStoreGet] = deque()
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def level(self) -> int:
+        return len(self.index)
+
+    def contains(self, key: Hashable) -> bool:
+        return key in self.index
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Item buffered for ``key`` (without consuming it), else default."""
+        return self.index.get(key, default)
+
+    def waiting(self, key: Hashable) -> int:
+        """Number of getters currently parked on ``key``."""
+        return len(self._waiters.get(key, ()))
+
+    def waiting_keys(self) -> List[Hashable]:
+        """Keys with at least one parked getter (diagnostics)."""
+        return list(self._waiters)
+
+    # -- operations ------------------------------------------------------------
+    def put(self, key: Hashable, item: Any = None) -> KeyedStorePut:  # type: ignore[override]
+        event = KeyedStorePut(self, key, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self, key: Optional[Hashable] = None) -> KeyedStoreGet:  # type: ignore[override]
+        event = KeyedStoreGet(self, key)
+        if key is None:
+            if self.index:
+                self._account()
+                _, item = self.index.pop_oldest()
+                event.succeed(item)
+                self._dispatch()  # a slot freed: admit a queued putter
+            else:
+                self._any_waiters.append(event)
+        else:
+            if key in self.index:
+                self._account()
+                event.succeed(self.index.pop(key))
+                self._dispatch()
+            else:
+                self._waiters.setdefault(key, deque()).append(event)
+        return event
+
+    def discard(self, key: Hashable) -> Any:
+        """Drop a buffered item without an event (invalidation hook)."""
+        if key not in self.index:
+            return None
+        self._account()
+        item = self.index.pop(key)
+        self._dispatch()
+        return item
+
+    def cancel_get(self, event: KeyedStoreGet) -> None:
+        """Withdraw a parked (not yet served) getter."""
+        if event.key is None:
+            try:
+                self._any_waiters.remove(event)
+                return
+            except ValueError:
+                pass
+        else:
+            waiters = self._waiters.get(event.key)
+            if waiters is not None:
+                try:
+                    waiters.remove(event)
+                except ValueError:
+                    pass
+                else:
+                    if not waiters:
+                        del self._waiters[event.key]
+                    return
+        raise SimulationError(f"{event!r} is not waiting on {self.name!r}")
+
+    # -- dispatch --------------------------------------------------------------
+    def _try_put(self, event: KeyedStorePut) -> bool:  # type: ignore[override]
+        if event.key in self.index:
+            # Consumed from the queue but failed: one item per key.
+            event.fail(
+                DuplicateKeyError(
+                    f"put({event.key!r}) on {self.name!r}: key already buffered"
+                )
+            )
+            return True
+        if self.level >= self.capacity:
+            return False
+        self._account()
+        self.index.put(event.key, event.item)
+        self.peak_items = max(self.peak_items, self.level)
+        event.succeed()
+        self._serve_waiters(event.key)
+        return True
+
+    def _serve_waiters(self, key: Hashable) -> None:
+        """Hand a just-inserted key to its first parked getter, if any."""
+        waiters = self._waiters.get(key)
+        if waiters:
+            waiter = waiters.popleft()
+            if not waiters:
+                del self._waiters[key]
+            self._account()
+            waiter.succeed(self.index.pop(key))
+            return
+        if self._any_waiters:
+            waiter = self._any_waiters.popleft()
+            self._account()
+            _, item = self.index.pop_oldest()
+            waiter.succeed(item)
+
+    def _dispatch(self) -> None:
+        # Waiter hand-off happens inside _try_put (an insert wakes exactly
+        # the consumers of that key), so dispatch only admits putters; each
+        # hand-off frees a slot, letting the loop admit the next putter.
+        while self._putters and self._try_put(self._putters[0]):
+            self._putters.popleft()
+
+    def __repr__(self) -> str:
+        waiting = sum(len(w) for w in self._waiters.values()) + len(self._any_waiters)
+        return (
+            f"<KeyedStore {self.name!r} {self.level}/{self.capacity} "
+            f"putq={len(self._putters)} waiters={waiting}>"
+        )
 
 
 class ResourceRequest(Event):

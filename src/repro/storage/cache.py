@@ -15,9 +15,9 @@ supercomputer).  The cache exists so ablation benchmarks can explore the
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import TYPE_CHECKING
 
+from ..simcore.resources import KeyedIndex
 from ..simcore.tracing import CounterSet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -29,6 +29,12 @@ class PageCache:
 
     ``capacity_bytes = 0`` produces a pass-through cache where every lookup
     misses (the default experiment configuration).
+
+    Entries live in the same O(1) keyed-index structure that backs the data
+    plane's :class:`~repro.simcore.resources.KeyedStore`: a
+    :class:`~repro.simcore.resources.KeyedIndex` gives dict-speed lookup
+    plus the LRU ordering hooks (``touch`` on hit, ``pop_oldest`` to
+    evict).
     """
 
     #: Copy rate for cache hits (bytes/s) — DDR4 single-stream memcpy class.
@@ -42,7 +48,7 @@ class PageCache:
         self.sim = sim
         self.name = name
         self.capacity_bytes = float(capacity_bytes)
-        self._entries: "OrderedDict[str, float]" = OrderedDict()  # path -> bytes
+        self._entries: KeyedIndex = KeyedIndex()  # path -> bytes
         self._used = 0.0
         self.counters = CounterSet()
 
@@ -56,7 +62,7 @@ class PageCache:
     def lookup(self, path: str) -> bool:
         """Check for ``path``; updates recency and hit/miss counters."""
         if path in self._entries:
-            self._entries.move_to_end(path)
+            self._entries.touch(path)
             self.counters.add("hits")
             return True
         self.counters.add("misses")
@@ -74,10 +80,10 @@ class PageCache:
         if path in self._entries:
             self._used -= self._entries.pop(path)
         while self._used + nbytes > self.capacity_bytes and self._entries:
-            _, evicted = self._entries.popitem(last=False)
+            _, evicted = self._entries.pop_oldest()
             self._used -= evicted
             self.counters.add("evictions")
-        self._entries[path] = nbytes
+        self._entries.put(path, nbytes)
         self._used += nbytes
 
     def invalidate(self, path: str) -> None:

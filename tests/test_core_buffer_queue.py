@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import FilenameQueue, PrefetchBuffer
-from repro.simcore import Simulator
+from repro.simcore import DuplicateRequestError, Simulator
 
 
 # ---------------------------------------------------------------- PrefetchBuffer
@@ -175,6 +175,165 @@ def test_buffer_invalid_args():
     buf = PrefetchBuffer(sim, capacity=2)
     with pytest.raises(ValueError):
         buf.set_capacity(0)
+
+
+def test_buffer_rejects_non_integer_capacity():
+    """float("inf") used to slip past validation and crash the property."""
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PrefetchBuffer(sim, capacity=float("inf"))
+    buf = PrefetchBuffer(sim, capacity=2)
+    with pytest.raises(ValueError):
+        buf.set_capacity(float("inf"))
+    with pytest.raises(ValueError):
+        buf.set_capacity(2.5)
+    assert buf.capacity == 2  # untouched by the rejected retargets
+
+
+def test_buffer_shrink_below_level_never_evicts():
+    """Control-plane shrink keeps staged samples; new inserts wait for drain."""
+    sim = Simulator()
+    buf = PrefetchBuffer(sim, capacity=4)
+    admitted = []
+
+    def scenario():
+        for i in range(4):
+            yield buf.insert(f"/f{i}", i)
+        buf.set_capacity(2)
+        assert buf.level == 4  # shrink never evicts
+        ev = buf.insert("/late", 9)
+        sim.process(drainer())
+        yield ev
+        admitted.append(sim.now)
+
+    def drainer():
+        for i in range(3):
+            yield sim.timeout(1.0)
+            _, ev = buf.request(f"/f{i}")
+            yield ev
+
+    p = sim.process(scenario())
+    sim.run(until=p)
+    # Admitted only once level fell below the new capacity (after 3 drains).
+    assert admitted == [3.0]
+    assert buf.level == 2
+
+
+# ------------------------------------------------- duplicate-request fail-fast
+def test_buffer_duplicate_request_after_eviction_fails_fast():
+    """Regression: a request for an already-consumed path used to block forever."""
+    sim = Simulator()
+    buf = PrefetchBuffer(sim, capacity=4)
+    outcome = {}
+
+    def scenario():
+        yield buf.insert("/a", 100)
+        _, ev = buf.request("/a")
+        yield ev  # consumed + evicted
+        _, again = buf.request("/a")
+        try:
+            yield again
+        except DuplicateRequestError as exc:
+            outcome["error"] = str(exc)
+
+    p = sim.process(scenario())
+    sim.run(until=p)
+    assert p.ok
+    assert "already consumed this epoch" in outcome["error"]
+    assert buf.counters.get("duplicate_requests") == 1
+
+
+def test_buffer_duplicate_inflight_request_fails_fast():
+    """A second consumer asking for an in-flight path fails with a diagnostic."""
+    sim = Simulator()
+    buf = PrefetchBuffer(sim, capacity=4)
+    outcome = {}
+
+    def first_consumer():
+        _, ev = buf.request("/a")
+        outcome["first"] = yield ev
+
+    def second_consumer():
+        yield sim.timeout(1.0)
+        _, ev = buf.request("/a")
+        try:
+            yield ev
+        except DuplicateRequestError as exc:
+            outcome["error"] = str(exc)
+
+    def producer():
+        yield sim.timeout(2.0)
+        yield buf.insert("/a", 55)
+
+    sim.process(first_consumer())
+    sim.process(second_consumer())
+    sim.process(producer())
+    sim.run()
+    assert outcome["first"] == 55  # the legitimate waiter is still served
+    assert "already waiting" in outcome["error"]
+    assert buf.counters.get("duplicate_requests") == 1
+
+
+def test_buffer_begin_epoch_resets_consumed_tracking():
+    sim = Simulator()
+    buf = PrefetchBuffer(sim, capacity=4)
+    got = []
+
+    def scenario():
+        for _ in range(2):  # two epochs re-stage the same path
+            buf.begin_epoch()
+            yield buf.insert("/a", 7)
+            _, ev = buf.request("/a")
+            got.append((yield ev))
+
+    p = sim.process(scenario())
+    sim.run(until=p)
+    assert got == [7, 7]
+    assert buf.counters.get("duplicate_requests") == 0
+
+
+def test_buffer_restaged_path_is_requestable_again():
+    """A re-insert after consumption (next epoch's producer) serves normally."""
+    sim = Simulator()
+    buf = PrefetchBuffer(sim, capacity=4)
+    got = []
+
+    def scenario():
+        yield buf.insert("/a", 1)
+        _, ev = buf.request("/a")
+        got.append((yield ev))
+        yield buf.insert("/a", 2)  # re-staged: buffered again
+        _, ev = buf.request("/a")
+        got.append((yield ev))
+
+    p = sim.process(scenario())
+    sim.run(until=p)
+    assert got == [1, 2]
+
+
+# ------------------------------------------------- staged-error contract
+def test_buffer_staged_error_counted_and_delivered():
+    """Producers stage read failures; the consumer receives the exception."""
+    sim = Simulator()
+    buf = PrefetchBuffer(sim, capacity=4)
+    boom = IOError("device gone")
+    outcome = {}
+
+    def scenario():
+        yield buf.insert("/ok", 10)
+        yield buf.insert("/bad", boom)
+        _, ev = buf.request("/bad")
+        outcome["payload"] = yield ev  # delivered as the value, not raised
+        _, ev = buf.request("/ok")
+        outcome["ok"] = yield ev
+
+    p = sim.process(scenario())
+    sim.run(until=p)
+    assert outcome["payload"] is boom
+    assert outcome["ok"] == 10
+    assert buf.counters.get("inserts") == 1
+    assert buf.counters.get("insert_errors") == 1
+    assert buf.level == 0  # the error did not leak a slot
 
 
 # ---------------------------------------------------------------- FilenameQueue

@@ -57,6 +57,27 @@ def test_snapshot_starvation_no_requests():
     assert snap(hits=0, waits=0, requests=0).starvation() == 0.0
 
 
+def test_snapshot_aggregate_sums_counters_last_writer_gauges():
+    s1 = snap(time=1.0, requests=100, hits=90, waits=10, level=10, capacity=64,
+              producers=2, bytes_fetched=1e6, queue=100)
+    s2 = snap(time=1.5, requests=40, hits=30, waits=10, level=3, capacity=8,
+              producers=1, bytes_fetched=5e5, queue=7)
+    agg = MetricsSnapshot.aggregate([s1, s2])
+    assert agg.time == 1.5
+    assert agg.requests == 140 and agg.hits == 120 and agg.waits == 20
+    assert agg.bytes_fetched == pytest.approx(1.5e6)
+    # gauges: last writer wins
+    assert agg.buffer_level == 3 and agg.buffer_capacity == 8
+    assert agg.producers_allocated == 1 and agg.queue_remaining == 7
+
+
+def test_snapshot_aggregate_single_and_empty():
+    s = snap()
+    assert MetricsSnapshot.aggregate([s]) is s
+    with pytest.raises(ValueError):
+        MetricsSnapshot.aggregate([])
+
+
 # ---------------------------------------------------------------- StaticPolicy
 def test_static_policy_applies_once():
     policy = StaticPolicy(producers=4, buffer_capacity=128)
@@ -301,6 +322,50 @@ def test_controller_invalid_period():
     sim = Simulator()
     with pytest.raises(ValueError):
         Controller(sim, period=0.0)
+
+
+def test_controller_aggregates_multi_object_stage():
+    """Regression: the controller used to record only snapshots[0], silently
+    dropping every other optimization object's traffic."""
+
+    class StubObject:
+        def __init__(self, name, requests, hits, level):
+            self.name = name
+            self._snap = dict(requests=requests, hits=hits, level=level)
+            self.applied = []
+
+        def serve(self, path):
+            return None
+
+        def snapshot(self):
+            s = self._snap
+            return snap(time=0.0, requests=s["requests"], hits=s["hits"],
+                        waits=s["requests"] - s["hits"], level=s["level"])
+
+        def apply_settings(self, settings):
+            self.applied.append(settings)
+
+        def on_epoch(self, paths):
+            pass
+
+    sim = Simulator()
+    a = StubObject("a", requests=100, hits=90, level=10)
+    b = StubObject("b", requests=60, hits=20, level=4)
+    stage = PrismaStage(sim, backend=None, optimizations=[a, b])
+    ctl = Controller(sim, period=1.0)
+    history = ctl.register(stage, policy=StaticPolicy(producers=2, buffer_capacity=8))
+    ctl.start()
+    sim.run(until=2.5)
+    ctl.stop()
+    assert len(history) >= 1
+    latest = history.latest
+    # Counters summed across both objects, last-writer gauges from object b.
+    assert latest.requests == 160
+    assert latest.hits == 110
+    assert latest.waits == 50
+    assert latest.buffer_level == 4
+    # Enforcement still reaches every object.
+    assert a.applied and b.applied
 
 
 def test_controller_stop_halts_cycles():

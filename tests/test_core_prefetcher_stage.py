@@ -5,7 +5,7 @@ import pytest
 from repro.core import ParallelPrefetcher, PrismaStage, TuningSettings
 from repro.core.tiering import TieringObject
 from repro.dataset import tiny_dataset
-from repro.simcore import RandomStreams, Simulator
+from repro.simcore import DuplicateRequestError, Event, RandomStreams, Simulator
 from repro.storage import BlockDevice, Filesystem, PosixLayer, ramdisk, sata_hdd
 
 
@@ -17,6 +17,25 @@ def make_env(n_train=32, profile=None):
     split.materialize(fs)
     posix = PosixLayer(sim, fs)
     return sim, posix, split
+
+
+class FlakyBackend:
+    """Backend wrapper that fails ``read_whole`` for chosen paths."""
+
+    def __init__(self, sim, inner, fail_paths):
+        self.sim = sim
+        self.inner = inner
+        self.fail_paths = set(fail_paths)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def read_whole(self, path):
+        if path in self.fail_paths:
+            ev = Event(self.sim, name="flaky.read")
+            ev.fail(IOError(f"injected read failure: {path}"))
+            return ev
+        return self.inner.read_whole(path)
 
 
 # ---------------------------------------------------------------- ParallelPrefetcher
@@ -116,6 +135,95 @@ def test_prefetcher_multi_epoch():
     p = sim.process(run_epochs())
     sim.run(until=p)
     assert pf.files_fetched == 48
+
+
+def test_prefetcher_read_error_surfaces_to_consumer():
+    """A failing backend read fails the consumer's serve() event end to end:
+    ``read_errors`` increments and the buffer does not leak a slot."""
+    sim, posix, split = make_env(n_train=8)
+    paths = split.train.filenames()
+    bad = paths[3]
+    flaky = FlakyBackend(sim, posix, [bad])
+    pf = ParallelPrefetcher(sim, flaky, producers=2, buffer_capacity=4)
+    pf.on_epoch(paths)
+    outcome = {"served": 0, "failed": []}
+
+    def consumer(path):
+        try:
+            yield pf.serve(path)
+        except IOError as exc:
+            outcome["failed"].append((path, str(exc)))
+        else:
+            outcome["served"] += 1
+
+    for path in paths:
+        sim.process(consumer(path))
+    sim.run()
+    assert outcome["served"] == len(paths) - 1
+    assert [p for p, _ in outcome["failed"]] == [bad]
+    assert "injected read failure" in outcome["failed"][0][1]
+    assert pf.read_errors == 1
+    assert pf.files_fetched == len(paths) - 1
+    assert pf.buffer.level == 0  # the staged error's slot was reclaimed
+
+
+def test_prefetcher_duplicate_serve_fails_fast():
+    """Regression: a second serve() for an evicted path used to hang forever."""
+    sim, posix, split = make_env(n_train=8)
+    paths = split.train.filenames()
+    pf = ParallelPrefetcher(sim, posix, producers=2, buffer_capacity=8)
+    pf.on_epoch(paths)
+    outcome = {}
+
+    def scenario():
+        yield pf.serve(paths[0])
+        try:
+            yield pf.serve(paths[0])  # duplicate: already evicted
+        except DuplicateRequestError as exc:
+            outcome["error"] = str(exc)
+        for path in paths[1:]:
+            yield pf.serve(path)
+
+    p = sim.process(scenario())
+    sim.run(until=p)
+    assert p.ok
+    assert "already consumed this epoch" in outcome["error"]
+    assert pf.buffer.counters.get("duplicate_requests") == 1
+
+
+def test_prefetcher_capacity_retarget_mid_epoch():
+    """Control-plane shrink mid-epoch never evicts; growth admits producers;
+    the epoch still completes with every file served exactly once."""
+    sim, posix, split = make_env(n_train=64)
+    pf = ParallelPrefetcher(sim, posix, producers=4, buffer_capacity=32, max_producers=8)
+    paths = split.train.filenames()
+    pf.on_epoch(paths)
+    observed = {}
+
+    def controller():
+        # Let the producers race ahead and fill the buffer.
+        yield sim.timeout(5e-4)
+        level_before = pf.buffer.level
+        pf.apply_settings(TuningSettings(buffer_capacity=2))
+        observed["shrink"] = (level_before, pf.buffer.level)
+        assert pf.buffer.capacity == 2
+        yield sim.timeout(5e-4)
+        pf.apply_settings(TuningSettings(buffer_capacity=64))
+        observed["grown_capacity"] = pf.buffer.capacity
+
+    def consumer():
+        yield sim.timeout(1e-3)
+        for path in paths:
+            yield pf.serve(path)
+
+    sim.process(controller())
+    p = sim.process(consumer())
+    sim.run(until=p)
+    shrunk_before, shrunk_after = observed["shrink"]
+    assert shrunk_after == shrunk_before  # shrink never evicts staged samples
+    assert observed["grown_capacity"] == 64
+    assert pf.files_fetched == 64
+    assert pf.buffer.level == 0
 
 
 # ---------------------------------------------------------------- PrismaStage

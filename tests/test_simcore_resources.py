@@ -4,7 +4,10 @@ import pytest
 
 from repro.simcore import (
     Container,
+    DuplicateKeyError,
     FilterStore,
+    KeyedIndex,
+    KeyedStore,
     Lock,
     Resource,
     SimulationError,
@@ -170,6 +173,286 @@ def test_filterstore_plain_get_still_fifo():
     sim.process(scenario(sim, store))
     sim.run()
     assert got == [1, 2]
+
+
+# ---------------------------------------------------------------- capacity normalization
+def test_store_capacity_normalized_to_int():
+    sim = Simulator()
+    store = Store(sim, capacity=4.0)
+    assert store.capacity == 4 and isinstance(store.capacity, int)
+    store.set_capacity(8.0)
+    assert store.capacity == 8 and isinstance(store.capacity, int)
+
+
+def test_store_infinite_capacity_allowed():
+    sim = Simulator()
+    store = Store(sim, capacity=float("inf"))
+    assert store.capacity == float("inf")
+
+
+def test_store_fractional_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=2.5)
+    store = Store(sim, capacity=2)
+    with pytest.raises(ValueError):
+        store.set_capacity(1.5)
+    with pytest.raises(ValueError):
+        store.set_capacity(float("nan"))
+
+
+def test_store_shrink_never_evicts_blocks_new_puts():
+    """Shrinking below the current level keeps items; puts wait for a drain."""
+    sim = Simulator()
+    store = Store(sim, capacity=4)
+    put_times = []
+
+    def scenario():
+        for i in range(4):
+            yield store.put(i)
+        store.set_capacity(2)
+        assert store.level == 4  # never evicts
+        ev = store.put(99)
+        sim.process(drainer())
+        yield ev
+        put_times.append(sim.now)
+
+    def drainer():
+        yield sim.timeout(1.0)
+        yield store.get()
+        yield sim.timeout(1.0)
+        yield store.get()
+        yield sim.timeout(1.0)
+        yield store.get()  # level drops 4 -> 1: the blocked put admits
+
+    p = sim.process(scenario())
+    sim.run(until=p)
+    assert put_times == [3.0]
+    assert store.level == 2
+
+
+# ---------------------------------------------------------------- KeyedIndex
+def test_keyed_index_basic_ops():
+    idx = KeyedIndex()
+    idx.put("a", 1)
+    idx.put("b", 2)
+    assert "a" in idx and len(idx) == 2
+    assert idx.get("a") == 1
+    assert idx.pop("a") == 1
+    assert idx.discard("a") is None
+    assert list(idx.keys()) == ["b"]
+
+
+def test_keyed_index_duplicate_put_rejected():
+    idx = KeyedIndex()
+    idx.put("a", 1)
+    with pytest.raises(DuplicateKeyError):
+        idx.put("a", 2)
+
+
+def test_keyed_index_lru_ordering():
+    idx = KeyedIndex()
+    for k in ("a", "b", "c"):
+        idx.put(k, k.upper())
+    idx.touch("a")  # recency: a becomes newest
+    assert idx.pop_oldest() == ("b", "B")
+    assert idx.pop_oldest() == ("c", "C")
+    assert idx.pop_oldest() == ("a", "A")
+
+
+# ---------------------------------------------------------------- KeyedStore
+def test_keyedstore_get_by_key_hits_buffered_item():
+    sim = Simulator()
+    store = KeyedStore(sim)
+    got = []
+
+    def scenario():
+        yield store.put("a", 1)
+        yield store.put("b", 2)
+        got.append((yield store.get("b")))
+        got.append((yield store.get("a")))
+
+    p = sim.process(scenario())
+    sim.run(until=p)
+    assert got == [2, 1]
+    assert store.level == 0
+
+
+def test_keyedstore_waiter_unblocked_by_matching_put():
+    sim = Simulator()
+    store = KeyedStore(sim)
+    got = []
+
+    def consumer(key):
+        item = yield store.get(key)
+        got.append((key, item, sim.now))
+
+    def producer():
+        yield sim.timeout(1.0)
+        yield store.put("x", "X")
+        yield sim.timeout(1.0)
+        yield store.put("y", "Y")
+
+    # Consumers wait in reverse production order; each is woken individually.
+    sim.process(consumer("y"))
+    sim.process(consumer("x"))
+    sim.process(producer())
+    sim.run()
+    assert got == [("x", "X", 1.0), ("y", "Y", 2.0)]
+
+
+def test_keyedstore_per_key_waiters_fifo():
+    sim = Simulator()
+    store = KeyedStore(sim)
+    got = []
+
+    def consumer(tag):
+        item = yield store.get("k")
+        got.append((tag, item))
+
+    def producer():
+        yield sim.timeout(1.0)
+        yield store.put("k", "first")
+        # the slot is consumed immediately; re-stage for the second waiter
+        yield store.put("k", "second")
+
+    sim.process(consumer(1))
+    sim.process(consumer(2))
+    sim.process(producer())
+    sim.run()
+    assert got == [(1, "first"), (2, "second")]
+
+
+def test_keyedstore_keyless_get_is_fifo():
+    sim = Simulator()
+    store = KeyedStore(sim)
+    got = []
+
+    def scenario():
+        yield store.put("a", 1)
+        yield store.put("b", 2)
+        got.append((yield store.get()))
+        got.append((yield store.get()))
+
+    p = sim.process(scenario())
+    sim.run(until=p)
+    assert got == [1, 2]
+
+
+def test_keyedstore_capacity_blocks_putters_fifo():
+    sim = Simulator()
+    store = KeyedStore(sim, capacity=2)
+    admitted = []
+
+    def producer():
+        for i in range(4):
+            yield store.put(f"k{i}", i)
+            admitted.append((i, sim.now))
+
+    def consumer():
+        yield sim.timeout(10.0)
+        for i in range(4):
+            yield store.get(f"k{i}")
+            yield sim.timeout(10.0)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert admitted[0][1] == 0.0 and admitted[1][1] == 0.0
+    assert admitted[2][1] == 10.0
+    assert admitted[3][1] == 20.0
+
+
+def test_keyedstore_duplicate_key_put_fails():
+    sim = Simulator()
+    store = KeyedStore(sim)
+    outcome = {}
+
+    def scenario():
+        yield store.put("a", 1)
+        try:
+            yield store.put("a", 2)
+        except DuplicateKeyError as exc:
+            outcome["error"] = str(exc)
+        item = yield store.get("a")
+        outcome["item"] = item
+
+    p = sim.process(scenario())
+    sim.run(until=p)
+    assert "already buffered" in outcome["error"]
+    assert outcome["item"] == 1  # the first item was not shadowed
+
+
+def test_keyedstore_contains_peek_waiting():
+    sim = Simulator()
+    store = KeyedStore(sim)
+
+    def scenario():
+        yield store.put("a", 41)
+        assert store.contains("a")
+        assert store.peek("a") == 41
+        assert store.level == 1  # peek does not consume
+        store.get("b")  # park a waiter
+        assert store.waiting("b") == 1
+        assert store.waiting_keys() == ["b"]
+        yield store.put("b", 1)
+        assert store.waiting("b") == 0
+
+    p = sim.process(scenario())
+    sim.run(until=p)
+    assert p.ok
+
+
+def test_keyedstore_discard_frees_slot_for_putter():
+    sim = Simulator()
+    store = KeyedStore(sim, capacity=1)
+    times = []
+
+    def scenario():
+        yield store.put("a", 1)
+        ev = store.put("b", 2)  # blocked: full
+        yield sim.timeout(1.0)
+        assert store.discard("a") == 1
+        yield ev
+        times.append(sim.now)
+
+    p = sim.process(scenario())
+    sim.run(until=p)
+    assert times == [1.0]
+    assert store.contains("b")
+
+
+def test_keyedstore_cancel_get():
+    sim = Simulator()
+    store = KeyedStore(sim)
+    ev = store.get("a")
+    store.cancel_get(ev)
+    assert store.waiting("a") == 0
+    with pytest.raises(SimulationError):
+        store.cancel_get(ev)
+
+    def scenario():
+        yield store.put("a", 1)  # no waiter left: stays buffered
+
+    p = sim.process(scenario())
+    sim.run(until=p)
+    assert store.peek("a") == 1
+
+
+def test_keyedstore_occupancy_accounting():
+    sim = Simulator()
+    store = KeyedStore(sim, capacity=10)
+
+    def scenario():
+        yield store.put("a", 1)  # level 1 from t=0
+        yield sim.timeout(10.0)
+        yield store.put("b", 2)  # level 2 from t=10
+        yield sim.timeout(10.0)
+
+    sim.process(scenario())
+    sim.run()
+    assert store.mean_occupancy() == pytest.approx(1.5)
+    assert store.peak_items == 2
 
 
 # ---------------------------------------------------------------- Resource / Lock
