@@ -17,6 +17,7 @@ Layers (bottom-up):
 * :mod:`repro.core` — **PRISMA** (the paper's contribution) + integrations;
 * :mod:`repro.core.live` — a real-threads PRISMA usable on actual files;
 * :mod:`repro.multitenant` — shared-storage multi-job coordination;
+* :mod:`repro.faults` — deterministic fault injection & chaos schedules;
 * :mod:`repro.experiments` — the harness regenerating every paper figure.
 
 Quickstart::
@@ -27,18 +28,24 @@ Quickstart::
 
 from .core import (
     Controller,
+    DegradedModePolicy,
     ParallelPrefetcher,
     PrismaAutotunePolicy,
     PrismaStage,
     StaticPolicy,
     build_prisma,
 )
+from .faults import FaultEvent, FaultInjector, FaultPlan
 from .simcore import RandomStreams, Simulator
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Controller",
+    "DegradedModePolicy",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "ParallelPrefetcher",
     "PrismaAutotunePolicy",
     "PrismaStage",

@@ -6,6 +6,7 @@ Usage::
     python -m repro figure3 [--quick]
     python -m repro figure4 [--quick] [--workers 0 2 4 8 16]
     python -m repro ablation {autotune,device,period}
+    python -m repro faults-demo [--seed N] [--files N]
     python -m repro demo
 
 (or the installed ``prisma-repro`` script).
@@ -148,6 +149,19 @@ def _cmd_latency(_args) -> int:
     return 0
 
 
+def _cmd_faults_demo(args) -> int:
+    from .experiments.faults import format_fault_sweep, run_fault_sweep
+
+    report = run_fault_sweep(seed=args.seed, n_files=args.files)
+    if args.json:
+        from .experiments.export import dump_json
+
+        dump_json(report.metrics_dict(), args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    print(format_fault_sweep(report))
+    return 0 if report.completed else 1
+
+
 def _cmd_demo(_args) -> int:
     from . import quick_demo
 
@@ -195,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     plat = sub.add_parser("latency", help="per-read latency distribution, baseline vs PRISMA")
     plat.set_defaults(func=_cmd_latency)
+
+    pf = sub.add_parser("faults-demo", help="PRISMA under an injected fault storm")
+    pf.add_argument("--json", metavar="FILE", help="also write the metrics as JSON")
+    pf.add_argument("--seed", type=int, default=0)
+    pf.add_argument("--files", type=int, default=600)
+    pf.set_defaults(func=_cmd_faults_demo)
 
     pd = sub.add_parser("demo", help="tiny PRISMA-vs-baseline smoke demo")
     pd.set_defaults(func=_cmd_demo)

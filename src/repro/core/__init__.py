@@ -17,8 +17,16 @@ from .control import (
     ControlChannel,
     Controller,
     ControlPolicy,
+    DegradedModeParams,
+    DegradedModePolicy,
     MetricsHistory,
     PrismaAutotunePolicy,
+    RetryPolicy,
+    RpcApplicationError,
+    RpcError,
+    RpcRetriesExhausted,
+    RpcTimeout,
+    RpcTransportError,
     StaticPolicy,
 )
 from .filename_queue import FilenameQueue
@@ -37,6 +45,8 @@ __all__ = [
     "ControlChannel",
     "ControlPolicy",
     "Controller",
+    "DegradedModeParams",
+    "DegradedModePolicy",
     "FilenameQueue",
     "MetricsHistory",
     "MetricsSnapshot",
@@ -45,6 +55,12 @@ __all__ = [
     "PrefetchBuffer",
     "PrismaAutotunePolicy",
     "PrismaStage",
+    "RetryPolicy",
+    "RpcApplicationError",
+    "RpcError",
+    "RpcRetriesExhausted",
+    "RpcTimeout",
+    "RpcTransportError",
     "SharedDatasetPrefetcher",
     "StaticPolicy",
     "TieringObject",

@@ -2,9 +2,10 @@
 
 The logically centralized side of the SDS split: the periodic
 :class:`Controller` loop, tuning :class:`~.policy.ControlPolicy` objects
-(including the paper's feedback auto-tuner), per-stage
-:class:`~.monitor.MetricsHistory`, and the :class:`~.rpc.ControlChannel`
-linking planes.
+(including the paper's feedback auto-tuner and the graceful-degradation
+wrapper), per-stage :class:`~.monitor.MetricsHistory`, and the
+:class:`~.rpc.ControlChannel` linking planes (typed failures, retry with
+backoff under a time budget).
 """
 
 from .controller import Controller, GlobalPolicy
@@ -13,17 +14,31 @@ from .monitor import MetricsHistory
 from .policy import (
     AutotuneParams,
     ControlPolicy,
+    DegradedModeParams,
+    DegradedModePolicy,
     OscillationDampedPolicy,
     PrismaAutotunePolicy,
     StaticPolicy,
 )
-from .rpc import LOCAL_LATENCY, REMOTE_LATENCY, ControlChannel
+from .rpc import (
+    LOCAL_LATENCY,
+    REMOTE_LATENCY,
+    ControlChannel,
+    RetryPolicy,
+    RpcApplicationError,
+    RpcError,
+    RpcRetriesExhausted,
+    RpcTimeout,
+    RpcTransportError,
+)
 
 __all__ = [
     "AutotuneParams",
     "ControlChannel",
     "ControlPolicy",
     "Controller",
+    "DegradedModeParams",
+    "DegradedModePolicy",
     "GlobalPolicy",
     "LOCAL_LATENCY",
     "MetricsHistory",
@@ -31,5 +46,11 @@ __all__ = [
     "PrismaAutotunePolicy",
     "REMOTE_LATENCY",
     "ReplicatedController",
+    "RetryPolicy",
+    "RpcApplicationError",
+    "RpcError",
+    "RpcRetriesExhausted",
+    "RpcTimeout",
+    "RpcTransportError",
     "StaticPolicy",
 ]

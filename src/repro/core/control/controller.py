@@ -21,7 +21,7 @@ from ...simcore.errors import Interrupt
 from ..optimization import MetricsSnapshot, TuningSettings
 from .monitor import MetricsHistory
 from .policy import ControlPolicy
-from .rpc import ControlChannel
+from .rpc import ControlChannel, RetryPolicy, RpcRetriesExhausted, RpcTransportError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...simcore.kernel import Simulator
@@ -57,6 +57,8 @@ class Controller:
         sim: "Simulator",
         period: float,
         global_policy: Optional[GlobalPolicy] = None,
+        rpc_timeout: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
         name: str = "prisma.controller",
     ) -> None:
         if period <= 0:
@@ -69,6 +71,17 @@ class Controller:
         self._process = None
         self.cycles = 0
         self.enforcements = 0
+        #: per-attempt RPC deadline; defaults to half a control period so a
+        #: wedged channel can never stall the loop across cycles
+        self.rpc_timeout = rpc_timeout if rpc_timeout is not None else period / 2
+        #: backoff schedule for monitor/enforce calls, budgeted to one period
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay=period / 20, max_delay=period / 4, budget=period
+        )
+        #: monitor polls or enforcement pushes abandoned after retries —
+        #: the stage keeps its previous settings for that cycle (degraded
+        #: but alive, never crashed)
+        self.rpc_failures = 0
         #: simulated time of the last completed control cycle (heartbeat
         #: for the dependability machinery in :mod:`.replicated`)
         self.last_cycle_time: float = float("-inf")
@@ -90,6 +103,10 @@ class Controller:
         )
         self._registrations.append(reg)
         return reg.history
+
+    def channels(self) -> List[ControlChannel]:
+        """Every registered stage's control channel (fault-injection targets)."""
+        return [reg.channel for reg in self._registrations]
 
     def history_for(self, stage_name: str) -> MetricsHistory:
         for reg in self._registrations:
@@ -118,15 +135,27 @@ class Controller:
         except Interrupt:
             return
 
+    def _call(self, reg: _Registration, fn, *args):
+        """One reliable control-plane RPC: retry/backoff, typed failure."""
+        return reg.channel.call_with_retry(
+            fn, *args, policy=self.retry_policy, timeout=self.rpc_timeout
+        )
+
     def _cycle(self):
         # Monitor: poll every stage.  Multi-object stages report one
         # snapshot per optimization object; record their aggregate
         # (summed counters, last-writer gauges) so no object's traffic is
-        # silently dropped from the history.
+        # silently dropped from the history.  A stage whose channel stays
+        # down through the retry budget is skipped for the cycle — the
+        # control plane degrades (stale knobs) rather than crashing.
         for reg in self._registrations:
-            snapshots: List[MetricsSnapshot] = yield reg.channel.call(
-                reg.stage.control_snapshot
-            )
+            try:
+                snapshots: List[MetricsSnapshot] = yield self._call(
+                    reg, reg.stage.control_snapshot
+                )
+            except (RpcTransportError, RpcRetriesExhausted):
+                self.rpc_failures += 1
+                continue
             if snapshots:
                 reg.history.append(MetricsSnapshot.aggregate(snapshots))
 
@@ -137,7 +166,11 @@ class Controller:
             for reg in self._registrations:
                 settings = decisions.get(reg.stage.name)
                 if settings is not None:
-                    yield reg.channel.call(reg.stage.control_apply, settings)
+                    try:
+                        yield self._call(reg, reg.stage.control_apply, settings)
+                    except (RpcTransportError, RpcRetriesExhausted):
+                        self.rpc_failures += 1
+                        continue
                     self.enforcements += 1
             return
 
@@ -147,5 +180,9 @@ class Controller:
                 continue
             decision = reg.policy.decide(reg.history.latest, reg.history.previous)
             if decision is not None:
-                yield reg.channel.call(reg.stage.control_apply, decision)
+                try:
+                    yield self._call(reg, reg.stage.control_apply, decision)
+                except (RpcTransportError, RpcRetriesExhausted):
+                    self.rpc_failures += 1
+                    continue
                 self.enforcements += 1

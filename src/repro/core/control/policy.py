@@ -232,6 +232,108 @@ class PrismaAutotunePolicy(ControlPolicy):
         return None
 
 
+@dataclass
+class DegradedModeParams:
+    """Thresholds of the graceful-degradation state machine.
+
+    ``engage_error_rate`` is the per-period fraction of producer fetch
+    attempts that failed; storage fault bursts push it toward 1.0, healthy
+    operation sits at ~0.  When engaged, the policy shrinks ``t``/``N`` by
+    ``shrink_factor`` (never below the floors) so a failing backend is not
+    hammered with parallel retries; ``recovery_patience`` consecutive
+    clean periods restore the pre-fault targets.
+    """
+
+    #: per-period error rate at which degraded mode engages
+    engage_error_rate: float = 0.1
+    #: per-period error rate below which a period counts as clean
+    recover_error_rate: float = 0.02
+    #: consecutive clean periods before restoring the saved targets
+    recovery_patience: int = 3
+    #: multiplier applied to (t, N) on engage
+    shrink_factor: float = 0.5
+    producer_floor: int = 1
+    buffer_floor: int = 16
+
+    def __post_init__(self) -> None:
+        if not 0 < self.engage_error_rate <= 1:
+            raise ValueError("engage_error_rate must be in (0, 1]")
+        if not 0 <= self.recover_error_rate < self.engage_error_rate:
+            raise ValueError("recover_error_rate must be in [0, engage_error_rate)")
+        if self.recovery_patience < 1:
+            raise ValueError("recovery_patience must be >= 1")
+        if not 0 < self.shrink_factor < 1:
+            raise ValueError("shrink_factor must be in (0, 1)")
+        if self.producer_floor < 1 or self.buffer_floor < 1:
+            raise ValueError("floors must be >= 1")
+
+
+class DegradedModePolicy(ControlPolicy):
+    """Wrapper that backs off the data plane while storage is failing.
+
+    Under fault-free operation every decision is delegated to ``inner``
+    (typically :class:`PrismaAutotunePolicy`).  When the per-period error
+    rate crosses ``engage_error_rate`` the wrapper takes over: it saves
+    the current ``(t, N)`` targets, shrinks both toward the floors, and
+    holds them there — growing parallelism against a failing backend only
+    multiplies the failures (and the serve-side retries behind them).
+    Once ``recovery_patience`` consecutive periods come back clean, the
+    saved targets are restored and control returns to ``inner``.
+
+    Observability: ``engage_times`` / ``disengage_times`` (sim seconds)
+    and ``degraded_cycles`` (periods spent degraded) feed the fault-sweep
+    report and the chaos tests.
+    """
+
+    def __init__(
+        self,
+        inner: ControlPolicy,
+        params: Optional[DegradedModeParams] = None,
+    ) -> None:
+        self.inner = inner
+        self.params = params or DegradedModeParams()
+        self.engaged = False
+        self.degraded_cycles = 0
+        self.engage_times: List[float] = []
+        self.disengage_times: List[float] = []
+        self._saved: Optional[tuple] = None
+        self._clean_periods = 0
+
+    def decide(self, snapshot, previous):  # noqa: D102 - inherited
+        p = self.params
+        rate = snapshot.error_rate(previous)
+
+        if not self.engaged:
+            if rate > p.engage_error_rate:
+                self.engaged = True
+                self.degraded_cycles += 1
+                self._clean_periods = 0
+                self.engage_times.append(snapshot.time)
+                t = max(snapshot.producers_allocated, 1)
+                n = max(snapshot.buffer_capacity, 1)
+                self._saved = (t, n)
+                return TuningSettings(
+                    producers=max(int(t * p.shrink_factor), p.producer_floor),
+                    buffer_capacity=max(int(n * p.shrink_factor), p.buffer_floor),
+                )
+            return self.inner.decide(snapshot, previous)
+
+        # Engaged: hold the shrunk targets; count clean periods.
+        self.degraded_cycles += 1
+        if rate <= p.recover_error_rate:
+            self._clean_periods += 1
+        else:
+            self._clean_periods = 0
+        if self._clean_periods >= p.recovery_patience:
+            self.engaged = False
+            self._clean_periods = 0
+            self.disengage_times.append(snapshot.time)
+            saved, self._saved = self._saved, None
+            assert saved is not None
+            return TuningSettings(producers=saved[0], buffer_capacity=saved[1])
+        return None
+
+
 class OscillationDampedPolicy(ControlPolicy):
     """Wrapper adding hysteresis: suppress a decision that undoes the last.
 

@@ -8,12 +8,33 @@ of our middleware") the latency is a function call's worth; for remote
 stages it is a network RTT.  Modelling it explicitly keeps the architecture
 honest: control decisions are always slightly stale, exactly as in a real
 SDS deployment.
+
+Failure model
+-------------
+
+A real control channel loses and delays messages, so this one can too
+(:meth:`ControlChannel.inject_drops` / :meth:`ControlChannel.inject_delay`,
+driven by :class:`~repro.faults.FaultInjector`).  Failures surface as
+*typed* exceptions rather than being swallowed into a generic process
+error, so callers can tell retryable transport trouble from fatal
+far-side bugs:
+
+* :class:`RpcTransportError` — the message was lost (retryable);
+* :class:`RpcTimeout` — no reply within the caller's deadline (retryable);
+* :class:`RpcApplicationError` — the far-side function raised (fatal:
+  retrying re-executes a deterministic failure).
+
+:meth:`ControlChannel.call_with_retry` layers exponential backoff and a
+total time budget on top (:class:`RetryPolicy`), raising
+:class:`RpcRetriesExhausted` once the budget or attempt count runs out.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from ...simcore.errors import ProcessError, SimulationError
 from ...simcore.event import Event
 from ...simcore.tracing import CounterSet
 
@@ -26,6 +47,58 @@ LOCAL_LATENCY = 2e-6
 REMOTE_LATENCY = 150e-6
 
 
+class RpcError(SimulationError):
+    """Base class for control-channel failures."""
+
+
+class RpcTransportError(RpcError):
+    """The request or reply was lost in transit (retryable)."""
+
+
+class RpcTimeout(RpcTransportError):
+    """No reply arrived within the caller's deadline (retryable)."""
+
+
+class RpcApplicationError(RpcError):
+    """The far-side function raised; the original is ``__cause__`` (fatal)."""
+
+
+class RpcRetriesExhausted(RpcError):
+    """Every attempt failed; the last transport error is ``__cause__``."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule and budget for :meth:`ControlChannel.call_with_retry`.
+
+    ``budget`` caps the *total* time spent on one logical call (attempts +
+    backoff); a control plane that spends longer than a control period
+    nursing one RPC is better off skipping the cycle.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 1e-3
+    multiplier: float = 2.0
+    max_delay: float = 50e-3
+    budget: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.budget <= 0:
+            raise ValueError("budget must be positive")
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based; attempt 0 is free)."""
+        if attempt <= 0:
+            return 0.0
+        return min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+
+
 class ControlChannel:
     """Bidirectional request/response path with symmetric one-way latency."""
 
@@ -36,22 +109,144 @@ class ControlChannel:
         self.latency = latency
         self.name = name
         self.counters = CounterSet()
+        #: fault-injection state (windowed by the injector)
+        self._dropping = False
+        self._extra_delay = 0.0
 
-    def call(self, fn: Callable[..., Any], *args: Any) -> Event:
-        """Invoke ``fn(*args)`` on the far side; event value = its result."""
+    # -- fault injection --------------------------------------------------------
+    def inject_drops(self, active: bool) -> None:
+        """Drop every message while active (a partitioned control network)."""
+        self._dropping = bool(active)
+
+    def inject_delay(self, extra: float) -> None:
+        """Add ``extra`` seconds to each one-way leg (congested network)."""
+        if extra < 0:
+            raise ValueError("extra delay must be non-negative")
+        self._extra_delay = extra
+
+    @property
+    def faulted(self) -> bool:
+        return self._dropping or self._extra_delay > 0
+
+    # -- data path --------------------------------------------------------------
+    def call(self, fn: Callable[..., Any], *args: Any, timeout: Optional[float] = None) -> Event:
+        """Invoke ``fn(*args)`` on the far side; event value = its result.
+
+        Fails with :class:`RpcTransportError` when the channel is dropping,
+        :class:`RpcTimeout` when the round trip exceeds ``timeout``, and
+        :class:`RpcApplicationError` when ``fn`` itself raises.  Note that
+        a timed-out call may still have *executed* ``fn`` — the reply was
+        late, not the request lost — exactly the at-most-once ambiguity a
+        real RPC layer has.
+        """
         self.counters.add("calls")
         done = Event(self.sim, name=f"{self.name}.call")
 
         def round_trip():
-            if self.latency > 0:
-                yield self.sim.timeout(self.latency)
-            result = fn(*args)
-            if self.latency > 0:
-                yield self.sim.timeout(self.latency)
+            one_way = self.latency + self._extra_delay
+            if one_way > 0:
+                yield self.sim.timeout(one_way)
+            if self._dropping:
+                self.counters.add("drops")
+                raise RpcTransportError(f"{self.name}: request dropped")
+            try:
+                result = fn(*args)
+            except Exception as exc:  # noqa: BLE001 - typed and re-raised
+                raise RpcApplicationError(
+                    f"{self.name}: far side raised {type(exc).__name__}"
+                ) from exc
+            one_way = self.latency + self._extra_delay
+            if one_way > 0:
+                yield self.sim.timeout(one_way)
+            if self._dropping:
+                self.counters.add("drops")
+                raise RpcTransportError(f"{self.name}: reply dropped")
             return result
 
         proc = self.sim.process(round_trip(), name=f"{self.name}.rpc")
-        proc.add_callback(
-            lambda p: done.succeed(p._value) if p.ok else done.fail(p.exception)
-        )
+
+        def settle(p: Event) -> None:
+            if done.triggered:
+                return  # the timeout beat us; late replies are discarded
+            if p.ok:
+                done.succeed(p._value)
+                return
+            exc = p.exception
+            # The kernel wraps process deaths in ProcessError; unwrap so
+            # callers see the typed RPC exception, not a generic shroud.
+            cause = exc.__cause__ if isinstance(exc, ProcessError) else exc
+            if isinstance(cause, RpcError):
+                done.fail(cause)
+            else:  # pragma: no cover - defensive: nothing else should escape
+                done.fail(RpcTransportError(f"{self.name}: channel failure: {cause!r}"))
+
+        proc.add_callback(settle)
+        if timeout is not None:
+            if timeout <= 0:
+                raise ValueError("timeout must be positive")
+
+            def expire(_ev: Event) -> None:
+                if done.triggered:
+                    return
+                self.counters.add("timeouts")
+                done.fail(RpcTimeout(f"{self.name}: no reply within {timeout:g}s"))
+
+            self.sim.timeout(timeout).add_callback(expire)
+        return done
+
+    def call_with_retry(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        policy: Optional[RetryPolicy] = None,
+        timeout: Optional[float] = None,
+    ) -> Event:
+        """:meth:`call` with exponential backoff under a total time budget.
+
+        Retries transport errors and timeouts only; an
+        :class:`RpcApplicationError` is re-raised immediately (the far side
+        deterministically failed — retrying replays the bug).  When the
+        attempt count or the time budget runs out the event fails with
+        :class:`RpcRetriesExhausted` chaining the last transport error.
+        """
+        pol = policy or RetryPolicy()
+        done = Event(self.sim, name=f"{self.name}.call_retry")
+
+        def attempt_loop():
+            start = self.sim.now
+            last: Optional[RpcError] = None
+            for attempt in range(pol.max_attempts):
+                if attempt > 0:
+                    backoff = pol.delay_for(attempt)
+                    if self.sim.now + backoff - start > pol.budget:
+                        break  # the backoff alone would blow the budget
+                    self.counters.add("retries")
+                    if backoff > 0:
+                        yield self.sim.timeout(backoff)
+                try:
+                    result = yield self.call(fn, *args, timeout=timeout)
+                except RpcApplicationError:
+                    raise
+                except RpcError as exc:
+                    last = exc
+                    if self.sim.now - start >= pol.budget:
+                        break
+                    continue
+                return result
+            raise RpcRetriesExhausted(
+                f"{self.name}: gave up after {pol.max_attempts} attempts / "
+                f"{pol.budget:g}s budget"
+            ) from last
+
+        proc = self.sim.process(attempt_loop(), name=f"{self.name}.rpc_retry")
+
+        def settle(p: Event) -> None:
+            if p.ok:
+                done.succeed(p._value)
+                return
+            exc = p.exception
+            cause = exc.__cause__ if isinstance(exc, ProcessError) else exc
+            done.fail(cause if isinstance(cause, RpcError) else exc)
+
+        proc.add_callback(settle)
         return done

@@ -55,6 +55,20 @@ class FilenameQueue:
             return None
         return self._queue.popleft()
 
+    def requeue(self, path: str) -> None:
+        """Return a claimed-but-unserved path to the *front* of the queue.
+
+        Crash recovery: when a producer dies between dequeuing a path and
+        staging its sample, the path would otherwise be lost for the epoch
+        and the consumer waiting on it would hang.  Front placement keeps
+        the consumer's wait bounded (it was next in line before the crash).
+        """
+        if path not in self._covered:
+            raise ValueError(f"{self.name}: requeue of uncovered path {path!r}")
+        if path in self._queue:
+            raise ValueError(f"{self.name}: {path!r} is already pending")
+        self._queue.appendleft(path)
+
     def covers(self, path: str) -> bool:
         """Whether ``path`` belongs to the current epoch's prefetch list."""
         return path in self._covered

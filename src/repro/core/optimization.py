@@ -57,6 +57,11 @@ class MetricsSnapshot:
     producers_active: float = 0.0
     bytes_fetched: float = 0.0
     queue_remaining: int = 0
+    #: fault/recovery telemetry (counters; summed by :meth:`aggregate`)
+    files_fetched: float = 0.0
+    read_errors: float = 0.0
+    producer_respawns: float = 0.0
+    serve_retries: float = 0.0
 
     @classmethod
     def aggregate(cls, snapshots: "Sequence[MetricsSnapshot]") -> "MetricsSnapshot":
@@ -84,7 +89,25 @@ class MetricsSnapshot:
             producers_active=last.producers_active,
             bytes_fetched=sum(s.bytes_fetched for s in snapshots),
             queue_remaining=last.queue_remaining,
+            files_fetched=sum(s.files_fetched for s in snapshots),
+            read_errors=sum(s.read_errors for s in snapshots),
+            producer_respawns=sum(s.producer_respawns for s in snapshots),
+            serve_retries=sum(s.serve_retries for s in snapshots),
         )
+
+    def error_rate(self, previous: Optional["MetricsSnapshot"] = None) -> float:
+        """Fraction of producer fetch attempts that failed (since ``previous``).
+
+        The degraded-mode policy's trigger signal: injected read-error
+        bursts push this above threshold; it falls back to ~0 when the
+        fault window closes.
+        """
+        errors, files = self.read_errors, self.files_fetched
+        if previous is not None:
+            errors -= previous.read_errors
+            files -= previous.files_fetched
+        attempts = errors + files
+        return errors / attempts if attempts > 0 else 0.0
 
     def starvation(self, previous: Optional["MetricsSnapshot"] = None) -> float:
         """Fraction of consumer requests that stalled (since ``previous``)."""

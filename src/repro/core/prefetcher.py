@@ -10,21 +10,49 @@ Both knobs are live: the control plane raises/lowers ``t`` (producers park
 or spawn between files) and ``N`` (buffer capacity retargets without
 eviction).  The number of *consumers* is deliberately unknown to the
 prefetcher ("its number is oblivious to PRISMA").
+
+Fault tolerance (the graceful-degradation half of the data plane):
+
+* **Producer supervision.**  Every producer process is joined by a
+  supervisor callback.  A producer that dies abnormally (e.g. a
+  fault-injected crash) has its in-flight path *requeued* — the path was
+  dequeued but never staged, so without recovery the consumer waiting on
+  it would hang forever — and a replacement producer is spawned while work
+  remains (``producer_respawns`` counts these).
+* **Serve-side retry.**  A staged :class:`TransientReadError` (the
+  retryable storage error class) is not surfaced to the consumer
+  immediately: the serve path re-reads the file directly from the backend
+  with exponential backoff, up to ``max_read_retries`` attempts
+  (``serve_retries`` counts attempts).  Fatal errors — wrong path, bad
+  descriptor — still fail the serve event at once.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Optional
 
+from ..simcore.errors import Interrupt, ProcessError
 from ..simcore.event import Event
 from ..simcore.tracing import TimeWeightedGauge
+from ..storage.filesystem import TransientReadError
 from .buffer import HIT_OVERHEAD, MEMORY_BANDWIDTH, PrefetchBuffer
 from .filename_queue import FilenameQueue
 from .optimization import MetricsSnapshot, OptimizationObject, TuningSettings
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..simcore.kernel import Simulator
+    from ..simcore.kernel import Process, Simulator
     from ..storage.posix import PosixLike
+
+
+def _storage_error(exc: BaseException) -> Exception:
+    """Unwrap the kernel's ProcessError shroud to the real storage error.
+
+    A backend read that fails inside its own process reaches the producer
+    as ``ProcessError(__cause__=<original>)``; classification (transient
+    vs fatal) and the staged-error payload must see the original.
+    """
+    cause = exc.__cause__ if isinstance(exc, ProcessError) else exc
+    return cause if isinstance(cause, Exception) else ProcessError(repr(exc))
 
 
 class ParallelPrefetcher(OptimizationObject):
@@ -38,6 +66,11 @@ class ParallelPrefetcher(OptimizationObject):
         Initial *N* — maximum staged samples.
     max_producers:
         Hard ceiling the control plane may never exceed.
+    max_read_retries:
+        Serve-side retry attempts for staged *transient* read errors
+        (0 disables retry and surfaces the staged error directly).
+    retry_backoff:
+        First retry delay in seconds; doubles per attempt.
     """
 
     def __init__(
@@ -47,6 +80,8 @@ class ParallelPrefetcher(OptimizationObject):
         producers: int = 2,
         buffer_capacity: int = 256,
         max_producers: int = 16,
+        max_read_retries: int = 2,
+        retry_backoff: float = 1e-3,
         name: str = "prisma.prefetch",
     ) -> None:
         super().__init__(sim, backend, name)
@@ -54,12 +89,22 @@ class ParallelPrefetcher(OptimizationObject):
             raise ValueError("producers must be >= 1")
         if max_producers < producers:
             raise ValueError("max_producers must be >= producers")
+        if max_read_retries < 0:
+            raise ValueError("max_read_retries must be >= 0")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
         self.buffer = PrefetchBuffer(sim, buffer_capacity, name=f"{name}.buffer")
         self.queue = FilenameQueue(name=f"{name}.queue")
         self.max_producers = max_producers
+        self.max_read_retries = max_read_retries
+        self.retry_backoff = retry_backoff
         self._target_producers = producers
         self._live_producers = 0
         self._next_worker_id = 0
+        #: live producer processes, for supervision and crash injection
+        self._procs: Dict[int, "Process"] = {}
+        #: path each producer has dequeued but not yet staged
+        self._in_flight: Dict[int, str] = {}
         #: producers currently blocked in a backend read (paper Fig. 3 input)
         self.active_producers = TimeWeightedGauge(sim, 0, name=f"{name}.active")
         #: producers alive (reading, inserting, or between files)
@@ -67,6 +112,9 @@ class ParallelPrefetcher(OptimizationObject):
         self.bytes_fetched = 0.0
         self.files_fetched = 0
         self.read_errors = 0
+        self.producer_crashes = 0
+        self.producer_respawns = 0
+        self.serve_retries = 0
 
     # -- knobs -----------------------------------------------------------------
     @property
@@ -101,7 +149,41 @@ class ParallelPrefetcher(OptimizationObject):
             self._next_worker_id += 1
             self._live_producers += 1
             self.allocated_producers.set(self._live_producers)
-            self.sim.process(self._producer(worker_id), name=f"{self.name}.p{worker_id}")
+            proc = self.sim.process(
+                self._producer(worker_id), name=f"{self.name}.p{worker_id}"
+            )
+            self._procs[worker_id] = proc
+            proc.add_callback(
+                lambda p, wid=worker_id: self._on_producer_exit(wid, p)
+            )
+
+    # -- fault injection / supervision ------------------------------------------------
+    def crash_producer(self, cause: object = "fault-injection") -> bool:
+        """Kill one live producer thread (lowest worker id, for determinism).
+
+        Returns whether a producer was actually crashed.  The supervisor
+        requeues the victim's in-flight path and respawns a replacement.
+        """
+        for worker_id in sorted(self._procs):
+            proc = self._procs[worker_id]
+            if proc.is_alive:
+                proc.interrupt(cause)
+                return True
+        return False
+
+    def _on_producer_exit(self, worker_id: int, proc: Event) -> None:
+        """Supervisor: reap a finished producer; recover from crashes."""
+        self._procs.pop(worker_id, None)
+        if proc.ok:
+            return  # normal exit: parked or epoch drained
+        self.producer_crashes += 1
+        path = self._in_flight.pop(worker_id, None)
+        if path is not None:
+            # Dequeued but never staged: put it back or its consumer hangs.
+            self.queue.requeue(path)
+        if self.queue.remaining > 0 and self._live_producers < self._target_producers:
+            self.producer_respawns += 1
+            self._spawn_up_to_target()
 
     def _producer(self, worker_id: int):
         """One producer thread: dequeue, read, stage, repeat."""
@@ -113,21 +195,30 @@ class ParallelPrefetcher(OptimizationObject):
                 path = self.queue.next()
                 if path is None:
                     return  # epoch drained; respawned on next on_epoch()
+                self._in_flight[worker_id] = path
                 self.active_producers.increment()
                 try:
                     payload = yield self.backend.read_whole(path)
+                except Interrupt:
+                    # Crash injection: die without staging; the supervisor
+                    # requeues the in-flight path and respawns.
+                    raise
                 except Exception as exc:  # noqa: BLE001 - deliver, don't die
                     # A failed read must reach the consumer waiting for this
                     # path (or it would block forever); stage the exception —
                     # the buffer's documented staged-error contract.
                     self.read_errors += 1
-                    payload = exc
+                    payload = _storage_error(exc)
                 finally:
                     self.active_producers.decrement()
                 if not isinstance(payload, Exception):
                     self.bytes_fetched += payload
                     self.files_fetched += 1
-                yield self.buffer.insert(path, payload)
+                insert = self.buffer.insert(path, payload)
+                # Commit point: the buffer owns the (queued) insert from
+                # here, so a crash past this line loses nothing.
+                self._in_flight.pop(worker_id, None)
+                yield insert
         finally:
             self._live_producers -= 1
             self.allocated_producers.set(self._live_producers)
@@ -139,7 +230,8 @@ class ParallelPrefetcher(OptimizationObject):
         The returned event fails (rather than blocking forever) when the
         buffer rejects the request as a duplicate — a second consumer asking
         for an in-flight or already-evicted path — and when a producer
-        staged a backend read failure for this path.
+        staged a backend read failure for this path.  *Transient* staged
+        errors are first retried directly against the backend.
         """
         if not self.queue.covers(path):
             return None  # e.g. validation files: fall through to backend
@@ -153,7 +245,13 @@ class ParallelPrefetcher(OptimizationObject):
             nbytes = ev.value
             if isinstance(nbytes, Exception):
                 # A producer staged its read failure for this path.
-                done.fail(nbytes)
+                if self.max_read_retries > 0 and isinstance(nbytes, TransientReadError):
+                    self.sim.process(
+                        self._retry_read(path, nbytes, done),
+                        name=f"{self.name}.retry",
+                    )
+                else:
+                    done.fail(nbytes)
                 return
 
             def copy_out():
@@ -167,6 +265,33 @@ class ParallelPrefetcher(OptimizationObject):
 
         fetched.add_callback(after_fetch)
         return done
+
+    def _retry_read(self, path: str, first_exc: Exception, done: Event):
+        """Re-read ``path`` from the backend with exponential backoff.
+
+        Degraded-mode data path: the buffered copy was a staged transient
+        failure, so the sample is fetched directly (no re-staging — the
+        consumer is already waiting on ``done``).
+        """
+        delay = self.retry_backoff
+        exc = first_exc
+        for _ in range(self.max_read_retries):
+            self.serve_retries += 1
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            delay *= 2
+            try:
+                nbytes = yield self.backend.read_whole(path)
+            except Exception as retry_exc:  # noqa: BLE001 - classified below
+                exc = _storage_error(retry_exc)
+                if not isinstance(exc, TransientReadError):
+                    break  # fatal: no point burning further attempts
+                continue
+            self.bytes_fetched += nbytes
+            self.files_fetched += 1
+            done.succeed(nbytes)
+            return
+        done.fail(exc)
 
     # -- control-plane reporting ------------------------------------------------------
     def snapshot(self) -> MetricsSnapshot:
@@ -183,4 +308,8 @@ class ParallelPrefetcher(OptimizationObject):
             producers_active=self.active_producers.value,
             bytes_fetched=self.bytes_fetched,
             queue_remaining=self.queue.remaining,
+            files_fetched=self.files_fetched,
+            read_errors=self.read_errors,
+            producer_respawns=self.producer_respawns,
+            serve_retries=self.serve_retries,
         )

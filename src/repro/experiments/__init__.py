@@ -15,6 +15,7 @@ from .config import (
     figure4_scale,
     test_scale,
 )
+from .faults import FaultSweepReport, demo_plan, format_fault_sweep, run_fault_sweep
 from .figure2 import Figure2Cell, Figure2Result, run_figure2
 from .figure3 import Figure3Curve, Figure3Result, run_figure3
 from .figure4 import Figure4Cell, Figure4Result, run_figure4
@@ -23,6 +24,7 @@ from .runner import TF_SETUPS, TORCH_SETUPS, TrialResult, run_tf_trial, run_torc
 
 __all__ = [
     "ExperimentScale",
+    "FaultSweepReport",
     "Figure2Cell",
     "Figure2Result",
     "Figure3Curve",
@@ -34,12 +36,15 @@ __all__ = [
     "TORCH_SETUPS",
     "TrialResult",
     "abci_node",
+    "demo_plan",
     "figure2_scale",
     "figure4_scale",
     "format_ablation",
+    "format_fault_sweep",
     "format_figure2",
     "format_figure3",
     "format_figure4",
+    "run_fault_sweep",
     "run_figure2",
     "run_figure3",
     "run_figure4",

@@ -13,7 +13,7 @@ scheduling order.  Combined with the seeded RNG streams in
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from .errors import (
     Interrupt,
@@ -190,6 +190,20 @@ class Simulator:
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Start a new process from a generator; returns its join-event."""
         return Process(self, generator, name=name)
+
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Timeout:
+        """Run ``fn(*args)`` at absolute simulated ``time`` (clamped to now).
+
+        The scheduling primitive of the fault-injection subsystem: a
+        :class:`~repro.faults.FaultPlan` is a list of absolute-time actions,
+        and ``at`` turns each one into a kernel event without the caller
+        writing a one-shot generator per action.  Returns the underlying
+        :class:`Timeout` so callers may join or inspect it.
+        """
+        delay = max(float(time) - self.now, 0.0)
+        ev = self.timeout(delay)
+        ev.add_callback(lambda _ev: fn(*args))
+        return ev
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, list(events))

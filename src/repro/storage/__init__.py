@@ -22,12 +22,15 @@ from .device import (
 )
 from .distributed import DistributedFilesystem, StorageTarget
 from .filesystem import (
+    FaultHook,
     FileExists,
     FileNotFound,
     Filesystem,
     InvalidRead,
+    ReadFault,
     SimFile,
     StorageError,
+    TransientReadError,
 )
 from .fluid import FairShareChannel, constant_capacity, saturating_capacity
 from .posix import BadFileDescriptor, PosixLayer, PosixLike
@@ -38,6 +41,7 @@ __all__ = [
     "DeviceProfile",
     "DistributedFilesystem",
     "FairShareChannel",
+    "FaultHook",
     "FileExists",
     "FileNotFound",
     "Filesystem",
@@ -49,9 +53,11 @@ __all__ = [
     "PageCache",
     "PosixLayer",
     "PosixLike",
+    "ReadFault",
     "SimFile",
     "StorageError",
     "StorageTarget",
+    "TransientReadError",
     "constant_capacity",
     "intel_p4600",
     "nvme_gen4",

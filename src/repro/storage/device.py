@@ -249,6 +249,8 @@ class BlockDevice:
                 sim, capacity=self.profile.seek_concurrency, name=f"{name}.seek"
             )
         self.counters = CounterSet()
+        #: current read-bandwidth scale (1.0 = healthy; see degrade_reads)
+        self.read_degradation = 1.0
 
     # -- helpers --------------------------------------------------------------
     def _latency(self, base: float) -> float:
@@ -309,15 +311,23 @@ class BlockDevice:
         """Scale read bandwidth by ``factor`` at run time (fault injection).
 
         Models device wear-out, thermal throttling, or a noisy neighbour;
-        the adaptivity tests use it to show the control loop re-converging.
+        the adaptivity tests use it to show the control loop re-converging,
+        and :class:`~repro.faults.FaultInjector` drives slowdown windows
+        through it.  The factor is absolute (relative to the profile), not
+        cumulative, so overlapping windows are last-writer-wins.
         """
         if factor <= 0:
             raise ValueError("factor must be positive")
+        self.read_degradation = factor
         self._read_channel.set_capacity_fn(
             saturating_capacity(
                 self.profile.max_read_bandwidth * factor, self.profile.read_kappa
             )
         )
+
+    def restore_reads(self) -> None:
+        """Undo :meth:`degrade_reads`: back to the profile's full bandwidth."""
+        self.degrade_reads(1.0)
 
     # -- observability ------------------------------------------------------------
     @property

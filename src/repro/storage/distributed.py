@@ -28,7 +28,7 @@ from ..simcore.event import Event
 from ..simcore.tracing import CounterSet
 from .cache import PageCache
 from .device import BlockDevice, DeviceProfile, GiB, intel_p4600
-from .filesystem import FileExists, FileNotFound, InvalidRead, SimFile
+from .filesystem import FaultHook, FileExists, FileNotFound, InvalidRead, SimFile
 from .fluid import FairShareChannel, saturating_capacity
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -83,6 +83,8 @@ class DistributedFilesystem:
         self._files: Dict[str, SimFile] = {}
         self._placement: Dict[str, int] = {}
         self.counters = CounterSet()
+        #: fault-injection seam, same contract as :class:`Filesystem`'s
+        self.fault_hook: Optional[FaultHook] = None
 
     # -- namespace (Filesystem-compatible) ----------------------------------------
     def _place(self, path: str) -> int:
@@ -141,6 +143,12 @@ class DistributedFilesystem:
             yield self.sim.timeout(self.rpc_latency)
             if nbytes == 0:
                 return 0
+            fault = self.fault_hook(path, nbytes) if self.fault_hook is not None else None
+            if fault is not None:
+                if fault.extra_latency > 0:
+                    yield self.sim.timeout(fault.extra_latency)
+                if fault.error is not None:
+                    raise fault.error
             yield target.device.read(nbytes)
             yield self.network.transfer(nbytes)
             self.counters.add("reads")

@@ -9,7 +9,7 @@ through the same machinery the benchmarks use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
 
 from ..simcore.errors import SimulationError
 from ..simcore.event import Event
@@ -34,6 +34,40 @@ class FileExists(StorageError):
 
 class InvalidRead(StorageError):
     """Read outside the file's byte range with strict bounds checking."""
+
+
+class TransientReadError(StorageError):
+    """A read failed for a reason that may clear on retry.
+
+    The *retryable* half of the storage error taxonomy: injected fault
+    bursts, dropped backend RPCs, and media timeouts raise this; namespace
+    errors (:class:`FileNotFound`, :class:`InvalidRead`) stay fatal.  The
+    graceful-degradation machinery (producer respawn, serve-side retry)
+    keys its retry decisions on this type.
+    """
+
+
+@dataclass(frozen=True)
+class ReadFault:
+    """What a fault hook may impose on one read: delay, failure, or both.
+
+    ``extra_latency`` is served before the outcome is decided (a fault that
+    fails *after* a timeout models a hung-then-errored backend request);
+    ``error`` — typically a :class:`TransientReadError` — then fails the
+    read, or ``None`` lets it proceed against the device.
+    """
+
+    error: Optional[Exception] = None
+    extra_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.extra_latency < 0:
+            raise ValueError("extra_latency must be non-negative")
+
+
+#: Hook signature: ``(path, nbytes) -> Optional[ReadFault]``.  Installed by
+#: :class:`~repro.faults.FaultInjector`; ``None`` means "no fault".
+FaultHook = Callable[[str, int], Optional[ReadFault]]
 
 
 @dataclass
@@ -68,6 +102,8 @@ class Filesystem:
         self.cache = cache if cache is not None else PageCache(sim, 0.0)
         self.name = name
         self._files: Dict[str, SimFile] = {}
+        #: fault-injection seam: consulted per data read when installed
+        self.fault_hook: Optional[FaultHook] = None
 
     # -- namespace ---------------------------------------------------------------
     def create(self, path: str, size: int) -> SimFile:
@@ -128,6 +164,12 @@ class Filesystem:
                 # Metadata-only: model a syscall round trip.
                 yield self.sim.timeout(1e-6)
                 return 0
+            fault = self.fault_hook(path, nbytes) if self.fault_hook is not None else None
+            if fault is not None:
+                if fault.extra_latency > 0:
+                    yield self.sim.timeout(fault.extra_latency)
+                if fault.error is not None:
+                    raise fault.error
             if self.cache.capacity_bytes > 0 and self.cache.lookup(path):
                 yield self.sim.timeout(self.cache.hit_service_time(nbytes))
                 return nbytes

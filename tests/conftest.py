@@ -1,0 +1,16 @@
+"""Shared test configuration: hypothesis profiles.
+
+CI runs with ``HYPOTHESIS_PROFILE=ci`` — derandomized (fixed example
+order, so failures reproduce across runs) and with the deadline disabled
+(shared runners have noisy clocks).  Local runs get the ``dev`` profile:
+random exploration, still no wall-clock deadline because simulated
+workloads legitimately take variable real time per example.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("ci", derandomize=True, deadline=None, max_examples=50)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

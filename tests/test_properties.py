@@ -5,7 +5,21 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import FilenameQueue, PrefetchBuffer
+from repro.core import (
+    DegradedModePolicy,
+    FilenameQueue,
+    PrefetchBuffer,
+    PrismaAutotunePolicy,
+    build_prisma,
+)
+from repro.faults import (
+    FAULT_KINDS,
+    PRODUCER_CRASH,
+    WINDOWED_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+)
 from repro.dataset import (
     DatasetCatalog,
     EpochShuffler,
@@ -205,6 +219,115 @@ def test_filename_queue_fifo_property(paths):
             break
         popped.append(item)
     assert popped == paths
+
+
+# ---------------------------------------------------------------- fault plans
+def _severity_strategy(kind):
+    if kind == "device_slowdown":
+        return st.floats(min_value=0.05, max_value=0.95)
+    if kind == "read_error_burst":
+        return st.floats(min_value=0.05, max_value=1.0)
+    if kind == PRODUCER_CRASH:
+        return st.integers(min_value=1, max_value=3).map(float)
+    if kind == "rpc_drop":
+        return st.just(1.0)
+    return st.floats(min_value=1e-4, max_value=5e-3)  # latency_spike / rpc_delay
+
+
+@st.composite
+def fault_events(draw, horizon=1.0):
+    kind = draw(st.sampled_from(FAULT_KINDS))
+    time = draw(st.floats(min_value=0.0, max_value=0.8 * horizon))
+    duration = (
+        draw(st.floats(min_value=1e-3, max_value=0.2 * horizon))
+        if kind in WINDOWED_KINDS
+        else 0.0
+    )
+    severity = draw(_severity_strategy(kind))
+    return FaultEvent(kind=kind, time=time, duration=duration, severity=severity)
+
+
+@given(st.lists(fault_events(), min_size=0, max_size=12))
+def test_fault_plan_is_sorted_with_exact_horizon(events):
+    plan = FaultPlan(events)
+    times = [ev.time for ev in plan]
+    assert times == sorted(times)
+    assert len(plan) == len(events)
+    assert plan.horizon == (max((ev.end for ev in events), default=0.0))
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1),
+       st.floats(min_value=0.5, max_value=100.0))
+@settings(max_examples=30)
+def test_random_fault_plans_are_seed_deterministic(seed, horizon):
+    a = FaultPlan.random(RandomStreams(seed), horizon=horizon)
+    b = FaultPlan.random(RandomStreams(seed), horizon=horizon)
+    assert a == b
+    assert 1 <= len(a) <= 6
+    assert all(ev.end <= horizon for ev in a)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=12, deadline=None)
+def test_chaos_invariants_under_random_fault_plans(seed):
+    """PRISMA under a random fault storm keeps its safety invariants."""
+    from repro.storage.device import BlockDevice, intel_p4600
+    from repro.storage.filesystem import Filesystem
+    from repro.storage.posix import PosixLayer
+
+    streams = RandomStreams(seed)
+    sim = Simulator()
+    device = BlockDevice(sim, intel_p4600(), streams=streams)
+    fs = Filesystem(sim, device)
+    paths = [f"/d/{i:04d}" for i in range(60)]
+    fs.create_many((p, 32 * 1024) for p in paths)
+    stage, pf, controller = build_prisma(
+        sim, PosixLayer(sim, fs), control_period=5e-3,
+        policy=DegradedModePolicy(PrismaAutotunePolicy()),
+    )
+    injector = FaultInjector(sim, streams=streams)
+    injector.attach_device(device)
+    injector.attach_filesystem(fs)
+    injector.attach_prefetcher(pf)
+    for ch in controller.channels():
+        injector.attach_channel(ch)
+    injector.install(FaultPlan.random(streams, horizon=0.05))
+
+    # Track every capacity the control plane ever set.
+    capacities = [pf.buffer.capacity]
+    original = pf.buffer.set_capacity
+    pf.buffer.set_capacity = lambda c: (capacities.append(c), original(c))[1]
+
+    stage.load_epoch(paths)
+    served, failed = [], []
+
+    def consumer(my_paths):
+        for path in my_paths:
+            try:
+                yield stage.read_whole(path)
+            except Exception:  # noqa: BLE001 - chaos: loud failure is fine
+                failed.append(path)
+            else:
+                served.append(path)
+            yield sim.timeout(5e-4)
+
+    from repro.simcore import AllOf, AnyOf
+
+    procs = [sim.process(consumer(paths[c::2])) for c in range(2)]
+    done = AllOf(sim, procs)
+    sim.run(until=AnyOf(sim, [done, sim.timeout(30.0)]))
+    controller.stop()
+
+    # Bounded time: no consumer hangs, whatever the storm did.
+    assert done.triggered and done.ok
+    # Every claimed path was served or failed exactly once.
+    assert sorted(served + failed) == sorted(paths)
+    assert len(set(served) & set(failed)) == 0
+    # The buffer never held more than any capacity in effect.
+    assert pf.buffer.occupancy.max_seen() <= max(capacities)
+    # Controller-driven targets stayed within their configured bounds.
+    assert 1 <= pf.target_producers <= pf.max_producers
+    assert 1 <= pf.buffer.capacity <= 4096
 
 
 # ---------------------------------------------------------------- TF autotuner
