@@ -26,7 +26,7 @@ from pathlib import Path
 
 from repro.core.buffer import PrefetchBuffer
 from repro.simcore import Event, FilterStore, Simulator
-from repro.simcore.tracing import CounterSet
+from repro.telemetry import CounterSet
 
 #: Buffer sizes to sweep (resident cold items during the measured phase).
 SIZES = (64, 256, 1024)

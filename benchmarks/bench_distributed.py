@@ -9,7 +9,7 @@ reader eats per file.
 
 import pytest
 
-from repro.core import build_prisma
+from repro.core import PrismaConfig, build_prisma
 from repro.core.integrations import PrismaTensorFlowPipeline
 from repro.dataset import EpochShuffler, imagenet_like
 from repro.frameworks import GpuEnsemble, LENET, Trainer, TrainingConfig
@@ -41,7 +41,7 @@ def run(setup: str, rpc_latency: float = 400e-6) -> float:
     controller = None
     if setup == "prisma":
         stage, prefetcher, controller = build_prisma(
-            sim, posix, control_period=1.0 / SCALE
+            sim, posix, PrismaConfig(control_period=1.0 / SCALE)
         )
         train_src = PrismaTensorFlowPipeline(
             sim, split.train, tr_sh, BATCH, stage, LENET

@@ -12,7 +12,7 @@ argument implies:
 
 import pytest
 
-from repro.core import build_prisma
+from repro.core import PrismaConfig, build_prisma
 from repro.core.integrations import PrismaTensorFlowPipeline
 from repro.dataset import EpochShuffler, imagenet_like, shard_catalog
 from repro.frameworks import GpuEnsemble, LENET, Trainer, TrainingConfig
@@ -52,7 +52,7 @@ def run(layout: str) -> float:
         tr_sh = EpochShuffler(len(split.train), streams.spawn("t"))
         if layout == "prisma":
             stage, prefetcher, controller = build_prisma(
-                sim, posix, control_period=1.0 / SCALE
+                sim, posix, PrismaConfig(control_period=1.0 / SCALE)
             )
             train_src = PrismaTensorFlowPipeline(
                 sim, split.train, tr_sh, BATCH, stage, LENET

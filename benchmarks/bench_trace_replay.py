@@ -9,7 +9,7 @@ time reveals queueing on the slow device.
 
 import pytest
 
-from repro.core import build_prisma
+from repro.core import PrismaConfig, build_prisma
 from repro.dataset import imagenet_like
 from repro.simcore import RandomStreams, Simulator
 from repro.storage import (
@@ -37,7 +37,7 @@ def recorded():
     split.train.materialize(fs)
     posix = PosixLayer(sim, fs)
     below = TracingPosix(sim, posix)
-    stage, pf, ctl = build_prisma(sim, below, control_period=1.0 / SCALE)
+    stage, pf, ctl = build_prisma(sim, below, PrismaConfig(control_period=1.0 / SCALE))
     above = TracingPosix(sim, stage)
     paths = split.train.filenames()
     stage.load_epoch(paths)

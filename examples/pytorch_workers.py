@@ -13,7 +13,7 @@ two headline observations reproduce:
 Run:  python examples/pytorch_workers.py        (~1-2 minutes)
 """
 
-from repro.core import build_prisma
+from repro.core import PrismaConfig, build_prisma
 from repro.core.integrations import PrismaUDSServer, make_torch_posix_factory
 from repro.dataset import EpochShuffler, imagenet_like
 from repro.frameworks import GpuEnsemble, LENET, Trainer, TrainingConfig
@@ -65,7 +65,7 @@ def run_native(workers: int) -> float:
 def run_prisma(workers: int) -> float:
     sim, posix, split, (tr_sh, va_sh) = build_env()
     stage, prefetcher, controller = build_prisma(
-        sim, posix, control_period=1.0 / SCALE
+        sim, posix, PrismaConfig(control_period=1.0 / SCALE)
     )
     # The paper's 35-LoC integration: a UDS server in the PRISMA process,
     # one client instance per spawned DataLoader worker.

@@ -9,7 +9,7 @@ integration.  Takes well under a minute.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import build_prisma
+from repro.core import PrismaConfig, build_prisma
 from repro.core.integrations import PrismaTensorFlowPipeline
 from repro.dataset import EpochShuffler, imagenet_like
 from repro.frameworks import GpuEnsemble, LENET, Trainer, TrainingConfig
@@ -44,7 +44,7 @@ def run(with_prisma: bool) -> float:
         # One call wires the SDS stack: data-plane stage (parallel
         # prefetcher behind a POSIX facade) + auto-tuning control plane.
         stage, prefetcher, controller = build_prisma(
-            sim, posix, control_period=1.0 / SCALE
+            sim, posix, PrismaConfig(control_period=1.0 / SCALE)
         )
         train_source = PrismaTensorFlowPipeline(
             sim, split.train, train_shuffle, BATCH, stage, LENET

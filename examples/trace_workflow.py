@@ -11,7 +11,7 @@
 Run:  python examples/trace_workflow.py
 """
 
-from repro.core import build_prisma
+from repro.core import PrismaConfig, build_prisma
 from repro.dataset import imagenet_like
 from repro.simcore import RandomStreams, Simulator
 from repro.storage import (
@@ -37,7 +37,7 @@ def record() -> tuple:
     posix = PosixLayer(sim, fs)
 
     below = TracingPosix(sim, posix, TraceHeader(setup="backend-view"))
-    stage, prefetcher, controller = build_prisma(sim, below, control_period=1.0 / SCALE)
+    stage, prefetcher, controller = build_prisma(sim, below, PrismaConfig(control_period=1.0 / SCALE))
     above = TracingPosix(sim, stage, TraceHeader(setup="framework-view"))
 
     paths = split.train.filenames()

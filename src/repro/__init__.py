@@ -31,6 +31,7 @@ from .core import (
     DegradedModePolicy,
     ParallelPrefetcher,
     PrismaAutotunePolicy,
+    PrismaConfig,
     PrismaStage,
     StaticPolicy,
     build_prisma,
@@ -48,6 +49,7 @@ __all__ = [
     "FaultPlan",
     "ParallelPrefetcher",
     "PrismaAutotunePolicy",
+    "PrismaConfig",
     "PrismaStage",
     "RandomStreams",
     "Simulator",
@@ -84,7 +86,9 @@ def quick_demo() -> str:
         shuffler = EpochShuffler(len(split.train), streams.spawn("t"))
         val_sh = EpochShuffler(len(split.validation), streams.spawn("v"))
         if prisma:
-            stage, _, controller = build_prisma(sim, posix, control_period=0.01)
+            stage, _, controller = build_prisma(
+                sim, posix, PrismaConfig(control_period=0.01)
+            )
             train = PrismaTensorFlowPipeline(sim, split.train, shuffler, 32, stage, LENET)
         else:
             controller = None

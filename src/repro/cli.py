@@ -7,9 +7,15 @@ Usage::
     python -m repro figure4 [--quick] [--workers 0 2 4 8 16]
     python -m repro ablation {autotune,device,period}
     python -m repro faults-demo [--seed N] [--files N]
+    python -m repro trace --experiment figure2 --out trace.json
     python -m repro demo
 
 (or the installed ``prisma-repro`` script).
+
+Every experiment command accepts the shared flags ``--seed N``,
+``--out FILE`` (results as JSON; ``--json`` is a deprecated spelling),
+``--trace FILE`` (Chrome-trace of the run, load in ``chrome://tracing``
+or Perfetto), and ``--quiet`` (suppress charts and progress chatter).
 """
 
 from __future__ import annotations
@@ -30,6 +36,43 @@ def _progress(trial) -> None:
     )
 
 
+def _note(args, message: str) -> None:
+    if not args.quiet:
+        print(message, file=sys.stderr)
+
+
+def _telemetry_for(args):
+    """A Telemetry hub when ``--trace`` was given, else ``None``."""
+    if not getattr(args, "trace", None):
+        return None
+    from .telemetry import Telemetry
+
+    return Telemetry()
+
+
+def _finish_trace(telemetry, args) -> None:
+    if telemetry is None:
+        return
+    from .telemetry import write_chrome_trace
+
+    stats = write_chrome_trace(telemetry, args.trace)
+    _note(args, f"wrote {args.trace} ({stats['events']} trace events)")
+
+
+def _reject_unsupported(args, command: str) -> Optional[int]:
+    """Fail fast when a shared flag has no effect on this command."""
+    if getattr(args, "trace", None):
+        print(f"error: --trace is not supported for {command!r}", file=sys.stderr)
+        return 2
+    if getattr(args, "seed", 0):
+        print(f"error: --seed is not supported for {command!r}", file=sys.stderr)
+        return 2
+    if getattr(args, "out", None):
+        print(f"error: --out is not supported for {command!r}", file=sys.stderr)
+        return 2
+    return None
+
+
 def _cmd_figure2(args) -> int:
     from .experiments import figure2_scale, run_figure2
     from .experiments.figure2 import DEFAULT_MODELS
@@ -41,24 +84,29 @@ def _cmd_figure2(args) -> int:
     )
     batches = tuple(args.batches) if args.batches else (64, 128, 256)
     scale = figure2_scale(quick=args.quick)
+    telemetry = _telemetry_for(args)
     result = run_figure2(
         scale=scale,
         models=models,
         batch_sizes=batches,
-        progress=_progress if args.verbose else None,
+        progress=_progress if args.verbose and not args.quiet else None,
+        base_seed=args.seed,
+        telemetry=telemetry,
     )
-    if args.json:
+    _finish_trace(telemetry, args)
+    if args.out:
         from .experiments.export import dump_json, figure2_to_dict
 
-        dump_json(figure2_to_dict(result, scale), args.json)
-        print(f"wrote {args.json}", file=sys.stderr)
+        dump_json(figure2_to_dict(result, scale), args.out)
+        _note(args, f"wrote {args.out}")
     print(format_figure2(result))
-    chart_batch = batches[-1]
-    try:
-        print()
-        print(figure2_chart(result, batch_size=chart_batch))
-    except KeyError:
-        pass  # partial grids may not contain the chart batch
+    if not args.quiet:
+        chart_batch = batches[-1]
+        try:
+            print()
+            print(figure2_chart(result, batch_size=chart_batch))
+        except KeyError:
+            pass  # partial grids may not contain the chart batch
     return 0
 
 
@@ -67,18 +115,23 @@ def _cmd_figure3(args) -> int:
     from .experiments.report import figure3_chart, format_figure3
 
     scale = figure2_scale(quick=args.quick)
+    telemetry = _telemetry_for(args)
     result = run_figure3(
         scale=scale,
-        progress=_progress if args.verbose else None,
+        progress=_progress if args.verbose and not args.quiet else None,
+        base_seed=args.seed,
+        telemetry=telemetry,
     )
-    if args.json:
+    _finish_trace(telemetry, args)
+    if args.out:
         from .experiments.export import dump_json, figure3_to_dict
 
-        dump_json(figure3_to_dict(result, scale), args.json)
-        print(f"wrote {args.json}", file=sys.stderr)
+        dump_json(figure3_to_dict(result, scale), args.out)
+        _note(args, f"wrote {args.out}")
     print(format_figure3(result))
-    print()
-    print(figure3_chart(result))
+    if not args.quiet:
+        print()
+        print(figure3_chart(result))
     return 0
 
 
@@ -88,23 +141,31 @@ def _cmd_figure4(args) -> int:
 
     workers = tuple(args.workers) if args.workers else (0, 2, 4, 8, 16)
     scale = figure4_scale(quick=args.quick)
+    telemetry = _telemetry_for(args)
     result = run_figure4(
         scale=scale,
         worker_counts=workers,
-        progress=_progress if args.verbose else None,
+        progress=_progress if args.verbose and not args.quiet else None,
+        base_seed=args.seed,
+        telemetry=telemetry,
     )
-    if args.json:
+    _finish_trace(telemetry, args)
+    if args.out:
         from .experiments.export import dump_json, figure4_to_dict
 
-        dump_json(figure4_to_dict(result, scale), args.json)
-        print(f"wrote {args.json}", file=sys.stderr)
+        dump_json(figure4_to_dict(result, scale), args.out)
+        _note(args, f"wrote {args.out}")
     print(format_figure4(result))
-    print()
-    print(figure4_chart(result))
+    if not args.quiet:
+        print()
+        print(figure4_chart(result))
     return 0
 
 
 def _cmd_ablation(args) -> int:
+    code = _reject_unsupported(args, "ablation")
+    if code is not None:
+        return code
     from .experiments.ablation import (
         autotune_point,
         best_static,
@@ -126,6 +187,9 @@ def _cmd_ablation(args) -> int:
 
 
 def _cmd_distributed(args) -> int:
+    code = _reject_unsupported(args, "distributed")
+    if code is not None:
+        return code
     from .experiments.extensions import format_distributed_sweep, run_distributed_sweep
 
     nodes = tuple(args.nodes) if args.nodes else (1, 2, 4)
@@ -135,6 +199,9 @@ def _cmd_distributed(args) -> int:
 
 
 def _cmd_multitenant(args) -> int:
+    code = _reject_unsupported(args, "multitenant")
+    if code is not None:
+        return code
     from .experiments.extensions import format_multitenant, run_multitenant_comparison
 
     rows = run_multitenant_comparison(n_jobs=args.jobs)
@@ -142,7 +209,10 @@ def _cmd_multitenant(args) -> int:
     return 0
 
 
-def _cmd_latency(_args) -> int:
+def _cmd_latency(args) -> int:
+    code = _reject_unsupported(args, "latency")
+    if code is not None:
+        return code
     from .experiments.extensions import format_latency, run_latency_comparison
 
     print(format_latency(run_latency_comparison()))
@@ -152,14 +222,67 @@ def _cmd_latency(_args) -> int:
 def _cmd_faults_demo(args) -> int:
     from .experiments.faults import format_fault_sweep, run_fault_sweep
 
-    report = run_fault_sweep(seed=args.seed, n_files=args.files)
-    if args.json:
+    telemetry = _telemetry_for(args)
+    report = run_fault_sweep(seed=args.seed, n_files=args.files, telemetry=telemetry)
+    _finish_trace(telemetry, args)
+    if args.out:
         from .experiments.export import dump_json
 
-        dump_json(report.metrics_dict(), args.json)
-        print(f"wrote {args.json}", file=sys.stderr)
+        dump_json(report.metrics_dict(), args.out)
+        _note(args, f"wrote {args.out}")
     print(format_fault_sweep(report))
     return 0 if report.completed else 1
+
+
+def _cmd_trace(args) -> int:
+    """One representative traced trial per experiment family."""
+    from .telemetry import Telemetry, write_chrome_trace
+
+    out = args.out or "trace.json"
+    telemetry = Telemetry()
+    if args.experiment in ("figure2", "figure3"):
+        from .experiments import figure2_scale
+        from .experiments.runner import run_tf_trial
+        from .frameworks.models import LENET
+
+        trial = run_tf_trial(
+            "tf-prisma", LENET, 256, figure2_scale(quick=True),
+            seed=args.seed, telemetry=telemetry,
+        )
+        headline = (
+            f"traced tf-prisma/lenet bs=256: "
+            f"{trial.paper_equivalent_seconds:.0f}s (paper-equivalent)"
+        )
+    elif args.experiment == "figure4":
+        from .experiments import figure4_scale
+        from .experiments.runner import run_torch_trial
+        from .frameworks.models import LENET
+
+        trial = run_torch_trial(
+            "torch-prisma", LENET, 256, 2, figure4_scale(quick=True),
+            seed=args.seed, telemetry=telemetry,
+        )
+        headline = (
+            f"traced torch-prisma/lenet bs=256 w=2: "
+            f"{trial.paper_equivalent_seconds:.0f}s (paper-equivalent)"
+        )
+    else:  # faults-demo
+        from .experiments.faults import run_fault_sweep
+
+        report = run_fault_sweep(seed=args.seed, telemetry=telemetry)
+        headline = (
+            f"traced fault sweep: served {report.files_served} files, "
+            f"{report.serve_failures} failures"
+        )
+    stats = write_chrome_trace(telemetry, out)
+    if not args.quiet:
+        print(headline)
+        print(
+            f"wrote {out}: {stats['events']} trace events "
+            f"({stats['unfinished_spans']} unfinished, "
+            f"{stats['dropped_events']} dropped)"
+        )
+    return 0
 
 
 def _cmd_demo(_args) -> int:
@@ -169,6 +292,24 @@ def _cmd_demo(_args) -> int:
     return 0
 
 
+def _shared_flags() -> argparse.ArgumentParser:
+    """Parent parser carried by every experiment subcommand."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    common.add_argument(
+        "--out", "--json", dest="out", metavar="FILE",
+        help="also write results as JSON (--json is the deprecated spelling)",
+    )
+    common.add_argument(
+        "--trace", metavar="FILE",
+        help="write a Chrome-trace (chrome://tracing / Perfetto) of the run",
+    )
+    common.add_argument(
+        "--quiet", action="store_true", help="suppress charts and progress chatter"
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="prisma-repro",
@@ -176,45 +317,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("-v", "--verbose", action="store_true", help="per-trial progress")
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _shared_flags()
 
-    p2 = sub.add_parser("figure2", help="TF baseline/optimized/PRISMA training times")
-    p2.add_argument("--json", metavar="FILE", help="also write results as JSON")
+    p2 = sub.add_parser(
+        "figure2", parents=[common],
+        help="TF baseline/optimized/PRISMA training times",
+    )
     p2.add_argument("--quick", action="store_true", help="coarser scale, 1 epoch")
     p2.add_argument("--models", nargs="+", choices=["lenet", "alexnet", "resnet50"])
     p2.add_argument("--batches", nargs="+", type=int)
     p2.set_defaults(func=_cmd_figure2)
 
-    p3 = sub.add_parser("figure3", help="concurrent-reader-thread CDFs")
-    p3.add_argument("--json", metavar="FILE", help="also write results as JSON")
+    p3 = sub.add_parser(
+        "figure3", parents=[common], help="concurrent-reader-thread CDFs"
+    )
     p3.add_argument("--quick", action="store_true")
     p3.set_defaults(func=_cmd_figure3)
 
-    p4 = sub.add_parser("figure4", help="PyTorch worker sweep vs PRISMA")
-    p4.add_argument("--json", metavar="FILE", help="also write results as JSON")
+    p4 = sub.add_parser(
+        "figure4", parents=[common], help="PyTorch worker sweep vs PRISMA"
+    )
     p4.add_argument("--quick", action="store_true")
     p4.add_argument("--workers", nargs="+", type=int)
     p4.set_defaults(func=_cmd_figure4)
 
-    pa = sub.add_parser("ablation", help="design-choice ablations")
+    pa = sub.add_parser("ablation", parents=[common], help="design-choice ablations")
     pa.add_argument("which", choices=["autotune", "device", "period"])
     pa.set_defaults(func=_cmd_ablation)
 
-    pdist = sub.add_parser("distributed", help="multi-node training over a shared PFS")
+    pdist = sub.add_parser(
+        "distributed", parents=[common], help="multi-node training over a shared PFS"
+    )
     pdist.add_argument("--nodes", nargs="+", type=int)
     pdist.set_defaults(func=_cmd_distributed)
 
-    pmt = sub.add_parser("multitenant", help="N jobs on shared storage, 3 control modes")
+    pmt = sub.add_parser(
+        "multitenant", parents=[common],
+        help="N jobs on shared storage, 3 control modes",
+    )
     pmt.add_argument("--jobs", type=int, default=3)
     pmt.set_defaults(func=_cmd_multitenant)
 
-    plat = sub.add_parser("latency", help="per-read latency distribution, baseline vs PRISMA")
+    plat = sub.add_parser(
+        "latency", parents=[common],
+        help="per-read latency distribution, baseline vs PRISMA",
+    )
     plat.set_defaults(func=_cmd_latency)
 
-    pf = sub.add_parser("faults-demo", help="PRISMA under an injected fault storm")
-    pf.add_argument("--json", metavar="FILE", help="also write the metrics as JSON")
-    pf.add_argument("--seed", type=int, default=0)
+    pf = sub.add_parser(
+        "faults-demo", parents=[common], help="PRISMA under an injected fault storm"
+    )
     pf.add_argument("--files", type=int, default=600)
     pf.set_defaults(func=_cmd_faults_demo)
+
+    pt = sub.add_parser(
+        "trace", parents=[common],
+        help="run one representative traced trial, write a Chrome-trace",
+    )
+    pt.add_argument(
+        "--experiment",
+        choices=["figure2", "figure3", "figure4", "faults-demo"],
+        default="figure2",
+        help="which experiment family to trace",
+    )
+    pt.set_defaults(func=_cmd_trace)
 
     pd = sub.add_parser("demo", help="tiny PRISMA-vs-baseline smoke demo")
     pd.set_defaults(func=_cmd_demo)
@@ -225,7 +391,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     start = time.time()
     code = args.func(args)
-    if args.verbose:
+    if args.verbose and not getattr(args, "quiet", False):
         print(f"[done in {time.time() - start:.1f}s wall]", file=sys.stderr)
     return code
 

@@ -6,9 +6,13 @@ chiefly the :class:`ParallelPrefetcher`), the control plane
 (:mod:`repro.core.control`), and the TensorFlow / PyTorch integrations
 (:mod:`repro.core.integrations`).
 
-:func:`build_prisma` wires a complete SDS stack in one call.
+:func:`build_prisma` wires a complete SDS stack in one call; it is
+configured with a typed :class:`PrismaConfig` (the bare keyword arguments
+of earlier releases still work but emit a :class:`DeprecationWarning`).
 """
 
+import warnings
+from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING, Optional, Tuple
 
 from .buffer import PrefetchBuffer
@@ -62,6 +66,7 @@ __all__ = [
     "RpcTimeout",
     "RpcTransportError",
     "SharedDatasetPrefetcher",
+    "PrismaConfig",
     "StaticPolicy",
     "TieringObject",
     "TuningSettings",
@@ -69,33 +74,88 @@ __all__ = [
 ]
 
 
+@dataclass(frozen=True)
+class PrismaConfig:
+    """Typed configuration for :func:`build_prisma`.
+
+    One value object instead of a drift-prone keyword list: experiments
+    construct a config once, ``dataclasses.replace`` it per trial, and the
+    same object can be logged next to the results it produced.
+    """
+
+    #: control-loop period in simulated seconds (experiments scale it with
+    #: the dataset so decisions-per-epoch match an unscaled deployment)
+    control_period: float = 0.05
+    #: control policy; ``None`` selects a fresh :class:`PrismaAutotunePolicy`
+    policy: Optional[ControlPolicy] = None
+    #: initial producer threads *t*
+    producers: int = 2
+    #: initial buffer capacity *N* (samples)
+    buffer_capacity: int = 256
+    #: hard ceiling the control plane may never push *t* beyond
+    max_producers: int = 8
+    #: component-name prefix (``<name>.stage``, ``<name>.prefetch``, …)
+    name: str = "prisma"
+
+    def __post_init__(self) -> None:
+        if self.control_period <= 0:
+            raise ValueError("control_period must be positive")
+        if self.producers < 1:
+            raise ValueError("producers must be >= 1")
+        if self.buffer_capacity < 1:
+            raise ValueError("buffer_capacity must be >= 1")
+        if self.max_producers < self.producers:
+            raise ValueError("max_producers must be >= producers")
+
+    def with_overrides(self, **overrides) -> "PrismaConfig":
+        """A copy with the given fields replaced (sugar over ``replace``)."""
+        return replace(self, **overrides)
+
+
+_LEGACY_BUILD_KWARGS = tuple(f.name for f in fields(PrismaConfig))
+
+
 def build_prisma(
     sim: "Simulator",
     backend: "PosixLike",
-    control_period: float,
-    policy: Optional[ControlPolicy] = None,
-    producers: int = 2,
-    buffer_capacity: int = 256,
-    max_producers: int = 8,
-    name: str = "prisma",
+    config: Optional[PrismaConfig] = None,
+    **legacy,
 ) -> Tuple[PrismaStage, ParallelPrefetcher, Controller]:
     """Assemble a complete PRISMA stack over ``backend``.
 
     Returns ``(stage, prefetcher, controller)``; the controller is already
-    started.  ``control_period`` is in simulated seconds — experiments scale
-    it together with the dataset so the number of control decisions per
-    epoch matches an unscaled deployment.
+    started.  Configuration comes as a :class:`PrismaConfig`; the
+    individual keyword arguments of earlier releases (``control_period``,
+    ``producers``, …) are still accepted for one release — they are folded
+    into a config and a :class:`DeprecationWarning` is emitted.
     """
+    if legacy:
+        unknown = set(legacy) - set(_LEGACY_BUILD_KWARGS)
+        if unknown:
+            raise TypeError(f"build_prisma() got unexpected keyword arguments {sorted(unknown)}")
+        if config is not None:
+            raise ValueError("pass either a PrismaConfig or legacy keyword arguments, not both")
+        warnings.warn(
+            "build_prisma(**kwargs) is deprecated; pass a PrismaConfig instead, "
+            "e.g. build_prisma(sim, backend, PrismaConfig(control_period=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        config = PrismaConfig(**legacy)
+    elif config is None:
+        config = PrismaConfig()
     prefetcher = ParallelPrefetcher(
         sim,
         backend,
-        producers=producers,
-        buffer_capacity=buffer_capacity,
-        max_producers=max_producers,
-        name=f"{name}.prefetch",
+        producers=config.producers,
+        buffer_capacity=config.buffer_capacity,
+        max_producers=config.max_producers,
+        name=f"{config.name}.prefetch",
     )
-    stage = PrismaStage(sim, backend, [prefetcher], name=f"{name}.stage")
-    controller = Controller(sim, period=control_period, name=f"{name}.controller")
-    controller.register(stage, policy or PrismaAutotunePolicy())
+    stage = PrismaStage(sim, backend, [prefetcher], name=f"{config.name}.stage")
+    controller = Controller(
+        sim, period=config.control_period, name=f"{config.name}.controller"
+    )
+    controller.register(stage, config.policy or PrismaAutotunePolicy())
     controller.start()
     return stage, prefetcher, controller

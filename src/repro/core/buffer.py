@@ -43,7 +43,7 @@ from typing import TYPE_CHECKING, Set, Tuple, Union
 from ..simcore.errors import DuplicateRequestError
 from ..simcore.event import Event
 from ..simcore.resources import KeyedStore
-from ..simcore.tracing import CounterSet, TimeWeightedGauge
+from ..telemetry import CounterSet, TimeWeightedGauge
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simcore.kernel import Simulator
@@ -120,13 +120,26 @@ class PrefetchBuffer:
         else:
             self.counters.add("inserts")
         done = Event(self.sim, name=f"{self.name}.insert")
+        tel = self.sim.telemetry
+        span = None
+        if tel is not None:
+            # The span covers any backpressure wait while the buffer is full.
+            span = tel.begin(
+                "buffer.insert", f"{self.name}.insert", "buffer", lane=True,
+                path=path, staged_error=isinstance(payload, Exception),
+            )
         inner = self._store.put(path, payload)
 
         def settled(ev: Event) -> None:
             if ev.ok:
                 self.occupancy.set(self.level)
+                if tel is not None:
+                    tel.end(span, ok=True)
+                    tel.sample(f"{self.name}.occupancy", self.level)
                 done.succeed()
             else:
+                if tel is not None:
+                    tel.end(span, ok=False)
                 done.fail(ev.exception)
 
         inner.add_callback(settled)
@@ -149,12 +162,15 @@ class PrefetchBuffer:
         waiting on, or one already consumed this epoch — fails immediately
         with :class:`DuplicateRequestError` instead of blocking forever.
         """
+        tel = self.sim.telemetry
         hit = self._store.contains(path)
         if not hit and path in self._consumed:
             # The path is owned by an earlier request: either a consumer is
             # still parked on it, or it was already delivered this epoch.
             in_flight = self._store.waiting(path) > 0
             self.counters.add("duplicate_requests")
+            if tel is not None:
+                tel.instant("buffer.duplicate", self.name, "buffer", path=path)
             done = Event(self.sim, name=f"{self.name}.req")
             done.fail(
                 DuplicateRequestError(
@@ -169,6 +185,15 @@ class PrefetchBuffer:
             )
             return False, done
         self.counters.add("hits" if hit else "waits")
+        wait_span = None
+        if tel is not None:
+            tel.instant("buffer.hit" if hit else "buffer.wait", self.name, "buffer", path=path)
+            if not hit:
+                # Starvation interval: the consumer is parked until a
+                # producer stages this path (the auto-tuner's key signal).
+                wait_span = tel.begin(
+                    "buffer.starve", f"{self.name}.wait", "buffer", lane=True, path=path
+                )
         # Claim the path *now* (not in the event callback): the claim is
         # what makes a concurrent duplicate request fail fast instead of
         # parking on a key that will never be re-staged.
@@ -179,8 +204,14 @@ class PrefetchBuffer:
         def settled(ev: Event) -> None:
             if ev.ok:
                 self.occupancy.set(self.level)
+                if tel is not None:
+                    if wait_span is not None:
+                        tel.end(wait_span, ok=True)
+                    tel.sample(f"{self.name}.occupancy", self.level)
                 done.succeed(ev.value)
             else:
+                if wait_span is not None:
+                    tel.end(wait_span, ok=False)
                 done.fail(ev.exception)
 
         inner.add_callback(settled)

@@ -44,6 +44,8 @@ class _Registration:
     policy: Optional[ControlPolicy]
     channel: ControlChannel
     history: MetricsHistory = field(init=False)
+    #: degraded-mode state seen at the last cycle (telemetry edge detection)
+    last_engaged: bool = field(default=False, init=False)
 
     def __post_init__(self) -> None:
         self.history = MetricsHistory(self.stage.name)
@@ -141,6 +143,41 @@ class Controller:
             fn, *args, policy=self.retry_policy, timeout=self.rpc_timeout
         )
 
+    @staticmethod
+    def _degraded_state(policy) -> Optional[bool]:
+        """Walk a (possibly wrapped) policy chain for degraded-mode state."""
+        seen = set()
+        while policy is not None and id(policy) not in seen:
+            seen.add(id(policy))
+            engaged = getattr(policy, "engaged", None)
+            if engaged is not None:
+                return bool(engaged)
+            policy = getattr(policy, "inner", None)
+        return None
+
+    def _note_decision(self, tel, reg: _Registration, decision, policy) -> None:
+        """Emit the policy-decision event and any degraded-mode transition."""
+        if tel is None:
+            return
+        tel.instant(
+            "control.decision",
+            self.name,
+            "control",
+            stage=reg.stage.name,
+            producers=decision.producers,
+            buffer_capacity=decision.buffer_capacity,
+            reason=getattr(policy, "last_reason", None),
+        )
+        engaged = self._degraded_state(policy)
+        if engaged is not None and engaged != reg.last_engaged:
+            reg.last_engaged = engaged
+            tel.instant(
+                "control.degraded_engage" if engaged else "control.degraded_recover",
+                self.name,
+                "control",
+                stage=reg.stage.name,
+            )
+
     def _cycle(self):
         # Monitor: poll every stage.  Multi-object stages report one
         # snapshot per optimization object; record their aggregate
@@ -148,14 +185,25 @@ class Controller:
         # silently dropped from the history.  A stage whose channel stays
         # down through the retry budget is skipped for the cycle — the
         # control plane degrades (stale knobs) rather than crashing.
+        tel = self.sim.telemetry
         for reg in self._registrations:
+            span = None
+            if tel is not None:
+                span = tel.begin(
+                    "control.monitor", self.name, "control", stage=reg.stage.name
+                )
             try:
                 snapshots: List[MetricsSnapshot] = yield self._call(
                     reg, reg.stage.control_snapshot
                 )
-            except (RpcTransportError, RpcRetriesExhausted):
+            except (RpcTransportError, RpcRetriesExhausted) as exc:
                 self.rpc_failures += 1
+                if tel is not None:
+                    tel.end(span, ok=False, error=type(exc).__name__)
+                    tel.registry.counter("control.rpc_failures_total", controller=self.name).inc()
                 continue
+            if tel is not None:
+                tel.end(span, ok=True)
             if snapshots:
                 reg.history.append(MetricsSnapshot.aggregate(snapshots))
 
@@ -166,12 +214,10 @@ class Controller:
             for reg in self._registrations:
                 settings = decisions.get(reg.stage.name)
                 if settings is not None:
-                    try:
-                        yield self._call(reg, reg.stage.control_apply, settings)
-                    except (RpcTransportError, RpcRetriesExhausted):
-                        self.rpc_failures += 1
+                    self._note_decision(tel, reg, settings, self.global_policy)
+                    ok = yield from self._enforce(tel, reg, settings)
+                    if not ok:
                         continue
-                    self.enforcements += 1
             return
 
         for reg in self._registrations:
@@ -180,9 +226,23 @@ class Controller:
                 continue
             decision = reg.policy.decide(reg.history.latest, reg.history.previous)
             if decision is not None:
-                try:
-                    yield self._call(reg, reg.stage.control_apply, decision)
-                except (RpcTransportError, RpcRetriesExhausted):
-                    self.rpc_failures += 1
-                    continue
-                self.enforcements += 1
+                self._note_decision(tel, reg, decision, reg.policy)
+                yield from self._enforce(tel, reg, decision)
+
+    def _enforce(self, tel, reg: _Registration, settings):
+        """Push settings over the channel inside a ``control.enforce`` span."""
+        span = None
+        if tel is not None:
+            span = tel.begin("control.enforce", self.name, "control", stage=reg.stage.name)
+        try:
+            yield self._call(reg, reg.stage.control_apply, settings)
+        except (RpcTransportError, RpcRetriesExhausted) as exc:
+            self.rpc_failures += 1
+            if tel is not None:
+                tel.end(span, ok=False, error=type(exc).__name__)
+                tel.registry.counter("control.rpc_failures_total", controller=self.name).inc()
+            return False
+        if tel is not None:
+            tel.end(span, ok=True)
+        self.enforcements += 1
+        return True

@@ -26,6 +26,10 @@ from ..optimization import MetricsSnapshot, TuningSettings
 class ControlPolicy(abc.ABC):
     """Decides knob updates from successive metric snapshots."""
 
+    #: why the most recent non-None decision was made (telemetry: the
+    #: controller attaches this to the ``control.decision`` trace event)
+    last_reason: Optional[str] = None
+
     @abc.abstractmethod
     def decide(
         self,
@@ -51,6 +55,7 @@ class StaticPolicy(ControlPolicy):
         if self._applied:
             return None
         self._applied = True
+        self.last_reason = "static-initial"
         return self.settings
 
 
@@ -142,8 +147,9 @@ class PrismaAutotunePolicy(ControlPolicy):
         if len(self._window) > self.params.measure_periods + 1:
             del self._window[0]
 
-    def _emit(self, settings: TuningSettings) -> TuningSettings:
+    def _emit(self, settings: TuningSettings, reason: str) -> TuningSettings:
         self.decisions += 1
+        self.last_reason = reason
         return settings
 
     # -- main loop -------------------------------------------------------------
@@ -188,7 +194,9 @@ class PrismaAutotunePolicy(ControlPolicy):
                     # The extra thread wasn't worth it: release it and mark
                     # this concurrency level as the knee.
                     self._saturated_at = t - 1
-                    return self._emit(TuningSettings(producers=t - 1))
+                    return self._emit(
+                        TuningSettings(producers=t - 1), "marginal-gain-below-threshold"
+                    )
             self._baseline_rate = None
             # fall through: the growth paid off; keep adapting
 
@@ -197,7 +205,8 @@ class PrismaAutotunePolicy(ControlPolicy):
             self._calm_periods = 0
             if occupancy >= p.occupancy_high and n < p.max_buffer:
                 return self._emit(
-                    TuningSettings(buffer_capacity=min(max(n * 2, p.min_buffer), p.max_buffer))
+                    TuningSettings(buffer_capacity=min(max(n * 2, p.min_buffer), p.max_buffer)),
+                    "starving-buffer-full",
                 )
             can_grow = t < p.max_producers and (
                 self._saturated_at is None or t < self._saturated_at
@@ -209,7 +218,7 @@ class PrismaAutotunePolicy(ControlPolicy):
                 self._baseline_rate = self._windowed_rate()
                 self._state = _TunerState.SETTLING
                 self._settle_left = p.settle_periods
-                return self._emit(TuningSettings(producers=t + 1))
+                return self._emit(TuningSettings(producers=t + 1), "starving-add-producer")
             # Starving but capped at the recorded knee: if this persists the
             # knee has moved (device degraded, neighbour arrived) — forget
             # it and re-probe.
@@ -225,7 +234,7 @@ class PrismaAutotunePolicy(ControlPolicy):
             self._calm_periods += 1
             if self._calm_periods >= p.shrink_patience and t > 1:
                 self._calm_periods = 0
-                return self._emit(TuningSettings(producers=t - 1))
+                return self._emit(TuningSettings(producers=t - 1), "calm-shrink")
             return None
 
         self._calm_periods = 0
@@ -312,11 +321,15 @@ class DegradedModePolicy(ControlPolicy):
                 t = max(snapshot.producers_allocated, 1)
                 n = max(snapshot.buffer_capacity, 1)
                 self._saved = (t, n)
+                self.last_reason = "degraded-engage"
                 return TuningSettings(
                     producers=max(int(t * p.shrink_factor), p.producer_floor),
                     buffer_capacity=max(int(n * p.shrink_factor), p.buffer_floor),
                 )
-            return self.inner.decide(snapshot, previous)
+            decision = self.inner.decide(snapshot, previous)
+            if decision is not None:
+                self.last_reason = getattr(self.inner, "last_reason", None)
+            return decision
 
         # Engaged: hold the shrunk targets; count clean periods.
         self.degraded_cycles += 1
@@ -330,6 +343,7 @@ class DegradedModePolicy(ControlPolicy):
             self.disengage_times.append(snapshot.time)
             saved, self._saved = self._saved, None
             assert saved is not None
+            self.last_reason = "degraded-recovered"
             return TuningSettings(producers=saved[0], buffer_capacity=saved[1])
         return None
 
@@ -353,6 +367,8 @@ class OscillationDampedPolicy(ControlPolicy):
     def decide(self, snapshot, previous):  # noqa: D102 - inherited
         decision = self.inner.decide(snapshot, previous)
         self._since_change += 1
+        if decision is not None:
+            self.last_reason = getattr(self.inner, "last_reason", None)
         if decision is None or decision.producers is None:
             return decision
         direction = 1 if decision.producers > snapshot.producers_allocated else -1

@@ -36,7 +36,7 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ...simcore.errors import ProcessError, SimulationError
 from ...simcore.event import Event
-from ...simcore.tracing import CounterSet
+from ...telemetry import CounterSet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...simcore.kernel import Simulator

@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Dict
 
 from ...simcore.event import Event
 from ...simcore.resources import Store
-from ...simcore.tracing import CounterSet, TimeWeightedGauge
+from ...telemetry import CounterSet, TimeWeightedGauge
 from ...storage.posix import BadFileDescriptor, PosixLike
 from ..stage import PrismaStage
 

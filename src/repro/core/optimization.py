@@ -20,13 +20,16 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..simcore.event import Event
+from ..telemetry.snapshot import MetricsSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simcore.kernel import Simulator
     from ..storage.posix import PosixLike
+
+__all__ = ["MetricsSnapshot", "OptimizationObject", "TuningSettings"]
 
 
 @dataclass(frozen=True)
@@ -41,82 +44,6 @@ class TuningSettings:
     producers: Optional[int] = None
     buffer_capacity: Optional[int] = None
     extra: Dict[str, object] = field(default_factory=dict)
-
-
-@dataclass(frozen=True)
-class MetricsSnapshot:
-    """What an optimization object reports to the control plane."""
-
-    time: float
-    requests: float = 0.0
-    hits: float = 0.0
-    waits: float = 0.0
-    buffer_level: int = 0
-    buffer_capacity: int = 0
-    producers_allocated: int = 0
-    producers_active: float = 0.0
-    bytes_fetched: float = 0.0
-    queue_remaining: int = 0
-    #: fault/recovery telemetry (counters; summed by :meth:`aggregate`)
-    files_fetched: float = 0.0
-    read_errors: float = 0.0
-    producer_respawns: float = 0.0
-    serve_retries: float = 0.0
-
-    @classmethod
-    def aggregate(cls, snapshots: "Sequence[MetricsSnapshot]") -> "MetricsSnapshot":
-        """Combine the per-object snapshots of a multi-object stage.
-
-        Counter-like fields (``requests``, ``hits``, ``waits``,
-        ``bytes_fetched``) are summed across objects; gauge-like fields
-        (buffer level/capacity, producer counts, queue backlog) take the
-        last object's value (last-writer-wins, matching the stage's
-        object order); ``time`` is the latest poll time.
-        """
-        if not snapshots:
-            raise ValueError("aggregate() needs at least one snapshot")
-        if len(snapshots) == 1:
-            return snapshots[0]
-        last = snapshots[-1]
-        return cls(
-            time=max(s.time for s in snapshots),
-            requests=sum(s.requests for s in snapshots),
-            hits=sum(s.hits for s in snapshots),
-            waits=sum(s.waits for s in snapshots),
-            buffer_level=last.buffer_level,
-            buffer_capacity=last.buffer_capacity,
-            producers_allocated=last.producers_allocated,
-            producers_active=last.producers_active,
-            bytes_fetched=sum(s.bytes_fetched for s in snapshots),
-            queue_remaining=last.queue_remaining,
-            files_fetched=sum(s.files_fetched for s in snapshots),
-            read_errors=sum(s.read_errors for s in snapshots),
-            producer_respawns=sum(s.producer_respawns for s in snapshots),
-            serve_retries=sum(s.serve_retries for s in snapshots),
-        )
-
-    def error_rate(self, previous: Optional["MetricsSnapshot"] = None) -> float:
-        """Fraction of producer fetch attempts that failed (since ``previous``).
-
-        The degraded-mode policy's trigger signal: injected read-error
-        bursts push this above threshold; it falls back to ~0 when the
-        fault window closes.
-        """
-        errors, files = self.read_errors, self.files_fetched
-        if previous is not None:
-            errors -= previous.read_errors
-            files -= previous.files_fetched
-        attempts = errors + files
-        return errors / attempts if attempts > 0 else 0.0
-
-    def starvation(self, previous: Optional["MetricsSnapshot"] = None) -> float:
-        """Fraction of consumer requests that stalled (since ``previous``)."""
-        hits, waits = self.hits, self.waits
-        if previous is not None:
-            hits -= previous.hits
-            waits -= previous.waits
-        total = hits + waits
-        return waits / total if total > 0 else 0.0
 
 
 class OptimizationObject(abc.ABC):

@@ -33,7 +33,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, Optional
 
 from ..simcore.errors import Interrupt, ProcessError
 from ..simcore.event import Event
-from ..simcore.tracing import TimeWeightedGauge
+from ..telemetry import TimeWeightedGauge
 from ..storage.filesystem import TransientReadError
 from .buffer import HIT_OVERHEAD, MEMORY_BANDWIDTH, PrefetchBuffer
 from .filename_queue import FilenameQueue
@@ -197,11 +197,19 @@ class ParallelPrefetcher(OptimizationObject):
                     return  # epoch drained; respawned on next on_epoch()
                 self._in_flight[worker_id] = path
                 self.active_producers.increment()
+                tel = self.sim.telemetry
+                fetch = None
+                if tel is not None:
+                    fetch = tel.begin(
+                        "prefetch.fetch", f"{self.name}.p{worker_id}", "prefetcher", path=path
+                    )
                 try:
                     payload = yield self.backend.read_whole(path)
                 except Interrupt:
                     # Crash injection: die without staging; the supervisor
                     # requeues the in-flight path and respawns.
+                    if fetch is not None:
+                        tel.end(fetch, outcome="crashed")
                     raise
                 except Exception as exc:  # noqa: BLE001 - deliver, don't die
                     # A failed read must reach the consumer waiting for this
@@ -209,11 +217,18 @@ class ParallelPrefetcher(OptimizationObject):
                     # the buffer's documented staged-error contract.
                     self.read_errors += 1
                     payload = _storage_error(exc)
+                    if fetch is not None:
+                        tel.end(fetch, outcome="error", error=type(payload).__name__)
+                        tel.registry.counter(
+                            "prisma.fetch_errors_total", object=self.name
+                        ).inc()
                 finally:
                     self.active_producers.decrement()
                 if not isinstance(payload, Exception):
                     self.bytes_fetched += payload
                     self.files_fetched += 1
+                    if fetch is not None:
+                        tel.end(fetch, outcome="ok", bytes=payload)
                 insert = self.buffer.insert(path, payload)
                 # Commit point: the buffer owns the (queued) insert from
                 # here, so a crash past this line loses nothing.
@@ -235,8 +250,24 @@ class ParallelPrefetcher(OptimizationObject):
         """
         if not self.queue.covers(path):
             return None  # e.g. validation files: fall through to backend
+        tel = self.sim.telemetry
+        serve_span = None
+        if tel is not None:
+            serve_span = tel.begin(
+                "prefetch.serve", f"{self.name}.serve", "prefetcher", lane=True, path=path
+            )
         hit, fetched = self.buffer.request(path)
         done = Event(self.sim, name=f"{self.name}.serve")
+        if tel is not None:
+            serve_span.args["hit"] = hit
+            hist = tel.registry.histogram("prisma.serve_latency_seconds", object=self.name)
+            start = self.sim.now
+
+            def record_serve(ev: Event) -> None:
+                tel.end(serve_span, ok=ev.ok)
+                hist.observe(self.sim.now - start)
+
+            done.add_callback(record_serve)
 
         def after_fetch(ev: Event) -> None:
             if not ev.ok:

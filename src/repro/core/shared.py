@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from ..simcore.event import Event
 from ..simcore.resources import FilterStore
-from ..simcore.tracing import CounterSet, TimeWeightedGauge
+from ..telemetry import CounterSet, TimeWeightedGauge
 from .buffer import HIT_OVERHEAD, MEMORY_BANDWIDTH
 from .filename_queue import FilenameQueue
 from .optimization import MetricsSnapshot, OptimizationObject, TuningSettings

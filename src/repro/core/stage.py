@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from ..simcore.event import Event
-from ..simcore.tracing import CounterSet
+from ..telemetry import CounterSet
 from ..storage.posix import BadFileDescriptor, PosixLike
 from .optimization import MetricsSnapshot, OptimizationObject, TuningSettings
 
@@ -54,7 +54,7 @@ class PrismaStage(PosixLike):
         self._next_fd = 1000  # distinct range from the backend's table
         self._open: Dict[int, _StageOpenFile] = {}
         self.counters = CounterSet()
-        #: optional :class:`~repro.metrics.timeseries.LatencyRecorder` fed
+        #: optional :class:`~repro.telemetry.LatencyRecorder` fed
         #: with per-request service times (the monitoring plane's "I/O rate"
         #: metrics, at distribution granularity)
         self.latency_recorder = latency_recorder
@@ -96,7 +96,24 @@ class PrismaStage(PosixLike):
             self.backend.close(bfd)
 
     def _serve_whole(self, path: str) -> Event:
-        """Offer the read to optimization objects, else hit the backend."""
+        """Offer the read to optimization objects, else hit the backend.
+
+        When traced, this is the root span of one consumer read: a fresh
+        :class:`~repro.telemetry.TraceContext` is current while the request
+        is routed, so every span the optimization objects open synchronously
+        (serve, buffer hit/wait) inherits this request's ``trace_id``.
+        """
+        tel = self.sim.telemetry
+        if tel is None:
+            return self._route_whole(path)
+        ctx = tel.new_context(path)
+        root = tel.begin("stage.read", self.name, "stage", ctx=ctx, lane=True, path=path)
+        with tel.with_context(ctx):
+            event = self._route_whole(path)
+        tel.end_on(root, event)
+        return event
+
+    def _route_whole(self, path: str) -> Event:
         for opt in self.optimizations:
             event = opt.serve(path)
             if event is not None:

@@ -23,7 +23,7 @@ from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, Optional
 
 from ..simcore.event import Event
-from ..simcore.tracing import CounterSet
+from ..telemetry import CounterSet
 from ..storage.filesystem import Filesystem
 from .optimization import MetricsSnapshot, OptimizationObject, TuningSettings
 

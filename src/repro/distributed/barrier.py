@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List
 
 from ..simcore.event import Event
-from ..simcore.tracing import CounterSet
+from ..telemetry import CounterSet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simcore.kernel import Simulator

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core import StaticPolicy, build_prisma
+from ..core import PrismaConfig, StaticPolicy, build_prisma
 from ..core.integrations import PrismaTensorFlowPipeline
 from ..dataset.shuffle import EpochShuffler
 from ..dataset.synthetic import imagenet_like
@@ -67,8 +67,10 @@ def _run_prisma_tf(
     stage, prefetcher, controller = build_prisma(
         sim,
         posix,
-        control_period=control_period or scale.control_period,
-        policy=policy,
+        PrismaConfig(
+            control_period=control_period or scale.control_period,
+            policy=policy,
+        ),
     )
     train_src = PrismaTensorFlowPipeline(
         sim, split.train, EpochShuffler(len(split.train), streams.spawn("t")),

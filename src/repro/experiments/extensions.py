@@ -13,13 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from ..core import PrismaStage, build_prisma
+from ..core import PrismaConfig, PrismaStage, build_prisma
 from ..dataset.synthetic import imagenet_like, tiny_dataset
 from ..distributed import DistributedResult, DistributedTrainingJob
 from ..frameworks.models import LENET, ModelProfile
 from ..frameworks.training import TrainingConfig
 from ..metrics.summary import jain_fairness
-from ..metrics.timeseries import LatencyRecorder, LatencySummary
+from ..telemetry import LatencyRecorder, LatencySummary
 from ..multitenant import FairShareGlobalPolicy, SharedStorageCluster
 from ..simcore.kernel import Simulator
 from ..simcore.random import RandomStreams
@@ -169,7 +169,7 @@ def run_latency_comparison(
         paths = split.train.filenames()[:sample_count]
         if setup == "prisma":
             stage, prefetcher, controller = build_prisma(
-                sim, posix, control_period=1.0 / scale
+                sim, posix, PrismaConfig(control_period=1.0 / scale)
             )
             stage.latency_recorder = recorder
             stage.load_epoch(paths)

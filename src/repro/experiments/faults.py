@@ -22,7 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..core import DegradedModePolicy, PrismaAutotunePolicy, build_prisma
+from ..core import (
+    DegradedModePolicy,
+    PrismaAutotunePolicy,
+    PrismaConfig,
+    build_prisma,
+)
 from ..faults import (
     DEVICE_SLOWDOWN,
     LATENCY_SPIKE,
@@ -125,18 +130,22 @@ def run_fault_sweep(
     plan: Optional[FaultPlan] = None,
     control_period: float = 10e-3,
     time_limit: float = 60.0,
+    telemetry=None,
 ) -> FaultSweepReport:
     """One PRISMA run under an injected fault storm.
 
     ``time_limit`` (simulated seconds) is the hang watchdog: a healthy run
     finishes in well under a second of simulated time, so hitting the limit
     means a consumer is stuck — reported as ``completed=False``, never as
-    a test-suite hang.
+    a test-suite hang.  ``telemetry`` is an optional
+    :class:`repro.telemetry.Telemetry` hub recording the storm's spans.
     """
     if n_files < consumers or consumers < 1:
         raise ValueError("need at least one file per consumer")
     streams = RandomStreams(seed)
     sim = Simulator()
+    if telemetry is not None:
+        telemetry.attach(sim, process=f"fault-sweep/seed{seed}")
     device = BlockDevice(sim, intel_p4600(), streams=streams)
     fs = Filesystem(sim, device)
     paths = [f"/data/train/{i:06d}" for i in range(n_files)]
@@ -145,7 +154,7 @@ def run_fault_sweep(
 
     policy = DegradedModePolicy(PrismaAutotunePolicy())
     stage, prefetcher, controller = build_prisma(
-        sim, posix, control_period=control_period, policy=policy
+        sim, posix, PrismaConfig(control_period=control_period, policy=policy)
     )
 
     injector = FaultInjector(sim, streams=streams)
@@ -191,7 +200,7 @@ def run_fault_sweep(
             return 0.0
         return sum(1 for t in served if lo <= t < hi) / (hi - lo)
 
-    return FaultSweepReport(
+    report = FaultSweepReport(
         seed=seed,
         n_files=n_files,
         completed=completed,
@@ -229,6 +238,9 @@ def run_fault_sweep(
         },
         failures=failures,
     )
+    if telemetry is not None:
+        telemetry.detach()
+    return report
 
 
 def format_fault_sweep(report: FaultSweepReport) -> str:

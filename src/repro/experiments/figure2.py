@@ -71,8 +71,15 @@ def run_figure2(
     setups: Sequence[str] = TF_SETUPS,
     hardware: Optional[HardwareProfile] = None,
     progress=None,
+    base_seed: int = 0,
+    telemetry=None,
 ) -> Figure2Result:
-    """Run the full Figure 2 grid; ``progress`` is an optional callback."""
+    """Run the full Figure 2 grid; ``progress`` is an optional callback.
+
+    ``base_seed`` offsets every trial's seed (run *i* uses ``base_seed + i``);
+    ``telemetry`` is an optional :class:`repro.telemetry.Telemetry` hub that
+    records spans from every trial (one trace process per trial).
+    """
     scale = scale or figure2_scale()
     result = Figure2Result()
     for model in models:
@@ -81,7 +88,8 @@ def run_figure2(
                 trials: List[TrialResult] = []
                 for run in range(scale.runs):
                     trial = run_tf_trial(
-                        setup, model, batch, scale, hardware=hardware, seed=run
+                        setup, model, batch, scale, hardware=hardware,
+                        seed=base_seed + run, telemetry=telemetry,
                     )
                     trials.append(trial)
                     if progress is not None:

@@ -67,6 +67,8 @@ def run_figure3(
     hardware: Optional[HardwareProfile] = None,
     trials: Optional[Dict[Tuple[str, str], TrialResult]] = None,
     progress=None,
+    base_seed: int = 0,
+    telemetry=None,
 ) -> Figure3Result:
     """Build the thread-activity CDFs.
 
@@ -80,7 +82,10 @@ def run_figure3(
         for setup in ("tf-optimized", "tf-prisma"):
             trial = trials.get((model.name, setup))
             if trial is None:
-                trial = run_tf_trial(setup, model, batch_size, scale, hardware=hardware)
+                trial = run_tf_trial(
+                    setup, model, batch_size, scale, hardware=hardware,
+                    seed=base_seed, telemetry=telemetry,
+                )
                 if progress is not None:
                     progress(trial)
             activity = (

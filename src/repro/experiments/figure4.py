@@ -70,6 +70,8 @@ def run_figure4(
     batch_size: int = 256,
     hardware: Optional[HardwareProfile] = None,
     progress=None,
+    base_seed: int = 0,
+    telemetry=None,
 ) -> Figure4Result:
     scale = scale or figure4_scale()
     result = Figure4Result()
@@ -80,7 +82,8 @@ def run_figure4(
                 for run in range(scale.runs):
                     trial = run_torch_trial(
                         setup, model, batch_size, workers, scale,
-                        hardware=hardware, seed=run,
+                        hardware=hardware, seed=base_seed + run,
+                        telemetry=telemetry,
                     )
                     trials.append(trial)
                     if progress is not None:

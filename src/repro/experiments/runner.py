@@ -15,9 +15,9 @@ Setups (paper §V):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
-from ..core import Controller, ParallelPrefetcher, build_prisma
+from ..core import Controller, ParallelPrefetcher, PrismaConfig, build_prisma
 from ..core.integrations import (
     PrismaTensorFlowPipeline,
     PrismaUDSServer,
@@ -36,6 +36,9 @@ from ..storage.device import BlockDevice
 from ..storage.filesystem import Filesystem
 from ..storage.posix import PosixLayer
 from .config import ExperimentScale, HardwareProfile, abci_node
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry import Telemetry
 
 TF_SETUPS = ("tf-baseline", "tf-optimized", "tf-prisma")
 TORCH_SETUPS = ("torch-native", "torch-prisma")
@@ -137,6 +140,7 @@ def run_tf_trial(
     hardware: Optional[HardwareProfile] = None,
     seed: int = 0,
     prefetch_validation: bool = False,
+    telemetry: Optional["Telemetry"] = None,
 ) -> TrialResult:
     """One TensorFlow training run under the given setup.
 
@@ -151,12 +155,14 @@ def run_tf_trial(
     hardware = hardware or abci_node()
     env = _build_env(hardware, scale, seed)
     sim = env.sim
+    if telemetry is not None:
+        telemetry.attach(sim, process=f"{setup}/{model.name}/bs{batch_size}/seed{seed}")
 
     prefetcher: Optional[ParallelPrefetcher] = None
     controller: Optional[Controller] = None
     if setup == "tf-prisma":
         stage, prefetcher, controller = build_prisma(
-            sim, env.posix, control_period=scale.control_period
+            sim, env.posix, PrismaConfig(control_period=scale.control_period)
         )
         train_src: TFDataPipeline = PrismaTensorFlowPipeline(
             sim, env.split.train, env.train_shuffler, batch_size, stage, model
@@ -189,10 +195,14 @@ def run_tf_trial(
         TrainingConfig(epochs=scale.epochs, global_batch=batch_size),
         val_src, setup=setup,
     )
-    return _finish(
-        env, trainer, scale, setup, model, batch_size, None,
-        train_src, prefetcher, controller,
-    )
+    try:
+        return _finish(
+            env, trainer, scale, setup, model, batch_size, None,
+            train_src, prefetcher, controller,
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.detach()
 
 
 # -- PyTorch trials --------------------------------------------------------------
@@ -204,6 +214,7 @@ def run_torch_trial(
     scale: ExperimentScale,
     hardware: Optional[HardwareProfile] = None,
     seed: int = 0,
+    telemetry: Optional["Telemetry"] = None,
 ) -> TrialResult:
     """One PyTorch training run: native DataLoader or PRISMA-backed."""
     if setup not in TORCH_SETUPS:
@@ -214,13 +225,18 @@ def run_torch_trial(
     hardware = hardware or abci_node()
     env = _build_env(hardware, scale, seed)
     sim = env.sim
+    if telemetry is not None:
+        telemetry.attach(
+            sim,
+            process=f"{setup}/{model.name}/bs{batch_size}/w{num_workers}/seed{seed}",
+        )
     split = env.split
 
     prefetcher: Optional[ParallelPrefetcher] = None
     controller: Optional[Controller] = None
     if setup == "torch-prisma":
         stage, prefetcher, controller = build_prisma(
-            sim, env.posix, control_period=scale.control_period
+            sim, env.posix, PrismaConfig(control_period=scale.control_period)
         )
         server = PrismaUDSServer(sim, stage)
 
@@ -266,7 +282,11 @@ def run_torch_trial(
         TrainingConfig(epochs=scale.epochs, global_batch=batch_size),
         val_src, setup=f"{setup}-w{num_workers}",
     )
-    return _finish(
-        env, trainer, scale, setup, model, batch_size, num_workers,
-        train_src, prefetcher, controller,
-    )
+    try:
+        return _finish(
+            env, trainer, scale, setup, model, batch_size, num_workers,
+            train_src, prefetcher, controller,
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.detach()

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from ..simcore.random import RandomStreams
-from ..simcore.tracing import CounterSet
+from ..telemetry import CounterSet
 from ..storage.filesystem import ReadFault, TransientReadError
 from .plan import (
     DEVICE_SLOWDOWN,
@@ -43,7 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.control.rpc import ControlChannel
     from ..core.prefetcher import ParallelPrefetcher
     from ..simcore.kernel import Simulator
-    from ..simcore.tracing import Tracer
+    from ..telemetry import Tracer
     from ..storage.device import BlockDevice
 
 
@@ -54,7 +54,7 @@ class FaultInjector:
     :meth:`install` one or more plans.  Counters
     (``faults_injected``, per-kind counts, ``read_errors_injected``)
     feed the fault-sweep report and the chaos tests; pass a
-    :class:`~repro.simcore.tracing.Tracer` to get ``fault.begin`` /
+    :class:`~repro.telemetry.Tracer` to get ``fault.begin`` /
     ``fault.end`` rows on the experiment trace.
     """
 

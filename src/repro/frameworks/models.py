@@ -34,7 +34,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 from ..simcore.event import Event
 from ..simcore.resources import Store
-from ..simcore.tracing import TimeWeightedGauge
+from ..telemetry import TimeWeightedGauge
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simcore.kernel import Simulator

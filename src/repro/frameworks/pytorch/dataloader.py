@@ -25,7 +25,7 @@ from ...dataset.catalog import DatasetCatalog
 from ...dataset.shuffle import EpochShuffler, SequentialOrder, batches_from_order
 from ...simcore.event import Event
 from ...simcore.resources import Store
-from ...simcore.tracing import TimeWeightedGauge
+from ...telemetry import TimeWeightedGauge
 from ..models import ModelProfile
 from ..training import DataSource
 

@@ -31,7 +31,7 @@ from ...dataset.catalog import DatasetCatalog
 from ...dataset.shuffle import EpochShuffler, SequentialOrder
 from ...simcore.event import Event
 from ...simcore.resources import Store
-from ...simcore.tracing import TimeWeightedGauge
+from ...telemetry import TimeWeightedGauge
 from ..models import ModelProfile
 from ..training import DataSource
 from .autotune import PrefetchAutotuner

@@ -23,7 +23,7 @@ from ...dataset.formats import ShardedDataset
 from ...dataset.shuffle import EpochShuffler, SequentialOrder
 from ...simcore.event import Event
 from ...simcore.resources import Store
-from ...simcore.tracing import TimeWeightedGauge
+from ...telemetry import TimeWeightedGauge
 from ..models import ModelProfile
 from ..training import DataSource
 

@@ -2,10 +2,16 @@
 
 Run statistics matching the paper's methodology (:mod:`.summary`) and the
 time-weighted CDF machinery behind Figure 3 (:mod:`.cdf`).
+
+The latency-recording classes (``LatencyRecorder``, ``LatencySummary``)
+moved to :mod:`repro.telemetry`; importing them from here still works for
+one release but emits a :class:`DeprecationWarning`.
 """
 
+import warnings
+
 from .cdf import DiscreteCDF, cdf_from_histogram, empirical_cdf, thread_usage_ratio
-from .timeseries import LatencyRecorder, LatencySummary, bin_rate, percentile_table
+from .timeseries import bin_rate, percentile_table
 from .summary import (
     Comparison,
     RunStats,
@@ -15,6 +21,22 @@ from .summary import (
     run_stats,
     speedup,
 )
+
+_MOVED_TO_TELEMETRY = ("LatencyRecorder", "LatencySummary")
+
+
+def __getattr__(name):
+    if name in _MOVED_TO_TELEMETRY:
+        warnings.warn(
+            f"repro.metrics.{name} is deprecated; import it from repro.telemetry instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .. import telemetry
+
+        return getattr(telemetry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Comparison",

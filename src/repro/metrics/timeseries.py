@@ -1,92 +1,38 @@
-"""Time-series utilities: latency recording, percentiles, rate binning.
+"""Time-series utilities: rate binning and percentile tables.
 
-The control plane's monitoring interface (paper §III: "collecting
-monitoring metrics (e.g., cache hits, I/O rate)") needs more than counters
-once operators start asking *distribution* questions — p99 read latency
-under PRISMA vs baseline, delivered bandwidth over time.  These helpers
-provide that layer for both the simulated and live data planes.
+The latency-recording classes that used to live here
+(:class:`~repro.telemetry.LatencyRecorder`,
+:class:`~repro.telemetry.LatencySummary`) moved into the unified
+:mod:`repro.telemetry` subsystem; importing them from this module still
+works for one release but emits a :class:`DeprecationWarning`.  The pure
+post-processing helpers (:func:`bin_rate`, :func:`percentile_table`) stay.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+import warnings
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 import numpy as np
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry import LatencyRecorder
 
-@dataclass(frozen=True)
-class LatencySummary:
-    """Distribution summary of recorded request latencies (seconds)."""
+_MOVED = ("LatencyRecorder", "LatencySummary")
 
-    count: int
-    mean: float
-    p50: float
-    p90: float
-    p99: float
-    maximum: float
 
-    def row(self) -> str:
-        return (
-            f"n={self.count} mean={self.mean * 1e6:.0f}us "
-            f"p50={self.p50 * 1e6:.0f}us p90={self.p90 * 1e6:.0f}us "
-            f"p99={self.p99 * 1e6:.0f}us max={self.maximum * 1e6:.0f}us"
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.metrics.timeseries.{name} is deprecated; "
+            f"import it from repro.telemetry instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from .. import telemetry
 
-
-class LatencyRecorder:
-    """Append-only record of ``(completion_time, latency)`` observations.
-
-    Bounded by ``max_samples`` with uniform reservoir downsampling so
-    indefinitely long runs can keep a recorder attached.
-    """
-
-    def __init__(self, name: str = "latency", max_samples: int = 200_000) -> None:
-        if max_samples < 1:
-            raise ValueError("max_samples must be >= 1")
-        self.name = name
-        self.max_samples = max_samples
-        self._times: List[float] = []
-        self._values: List[float] = []
-        self._seen = 0
-        self._rng = np.random.default_rng(0)
-
-    def record(self, time: float, latency: float) -> None:
-        if latency < 0:
-            raise ValueError("latency must be non-negative")
-        self._seen += 1
-        if len(self._values) < self.max_samples:
-            self._times.append(time)
-            self._values.append(latency)
-            return
-        # Reservoir sampling keeps a uniform subset of the full stream.
-        slot = int(self._rng.integers(0, self._seen))
-        if slot < self.max_samples:
-            self._times[slot] = time
-            self._values[slot] = latency
-
-    def __len__(self) -> int:
-        return len(self._values)
-
-    @property
-    def total_observed(self) -> int:
-        return self._seen
-
-    def summary(self) -> LatencySummary:
-        if not self._values:
-            raise ValueError(f"{self.name}: no latencies recorded")
-        arr = np.asarray(self._values)
-        return LatencySummary(
-            count=self._seen,
-            mean=float(arr.mean()),
-            p50=float(np.percentile(arr, 50)),
-            p90=float(np.percentile(arr, 90)),
-            p99=float(np.percentile(arr, 99)),
-            maximum=float(arr.max()),
-        )
-
-    def samples(self) -> List[Tuple[float, float]]:
-        return list(zip(self._times, self._values))
+        return getattr(telemetry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def bin_rate(
@@ -113,7 +59,7 @@ def bin_rate(
     return [(i * bin_width, totals[i] / bin_width) for i in range(n_bins)]
 
 
-def percentile_table(recorders: Dict[str, LatencyRecorder]) -> str:
+def percentile_table(recorders: "Dict[str, LatencyRecorder]") -> str:
     """One-line-per-recorder percentile comparison table."""
     lines = []
     for name, rec in recorders.items():

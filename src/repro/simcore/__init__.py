@@ -10,9 +10,15 @@ control planes).  It provides:
 * Resources: :class:`Store`, :class:`FilterStore`, :class:`KeyedStore`
   (O(1) key-addressed buffering over a :class:`KeyedIndex`),
   :class:`Resource`, :class:`Lock`, :class:`Container`.
-* Telemetry: :class:`Tracer`, :class:`TimeWeightedGauge`, :class:`CounterSet`.
 * :class:`RandomStreams` — named deterministic RNG streams.
+
+The telemetry names that used to live here (``Tracer``,
+``TimeWeightedGauge``, ``CounterSet``, …) moved to :mod:`repro.telemetry`;
+importing them from ``repro.simcore`` still works for one release but
+emits a :class:`DeprecationWarning`.
 """
+
+import warnings
 
 from .errors import (
     DuplicateKeyError,
@@ -41,7 +47,21 @@ from .resources import (
     StoreGet,
     StorePut,
 )
-from .tracing import CounterSet, GaugeSample, TimeWeightedGauge, Tracer, TraceRecord
+_MOVED_TO_TELEMETRY = ("CounterSet", "GaugeSample", "TimeWeightedGauge", "Tracer", "TraceRecord")
+
+
+def __getattr__(name):
+    if name in _MOVED_TO_TELEMETRY:
+        warnings.warn(
+            f"repro.simcore.{name} is deprecated; import it from repro.telemetry instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .. import telemetry
+
+        return getattr(telemetry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "AllOf",

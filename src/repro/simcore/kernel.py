@@ -162,6 +162,28 @@ class Simulator:
         self._active_process: Optional[Process] = None
         self._defunct: List[ProcessError] = []
         self._stopping = False
+        #: observability hook — a :class:`repro.telemetry.Telemetry` hub, or
+        #: None (the default: instrumented layers skip all recording).  Set
+        #: via ``Telemetry.attach(sim)``, never assigned directly.
+        self.telemetry: Optional[Any] = None
+
+    # -- telemetry hooks -------------------------------------------------------
+    def span_begin(self, name: str, track: str, cat: str = "misc", **args: Any) -> Optional[Any]:
+        """Open a telemetry span at the current sim time (None when untraced).
+
+        Convenience for call sites that don't want to touch the hub API;
+        hot paths should load ``sim.telemetry`` once and call it directly.
+        """
+        tel = self.telemetry
+        if tel is None:
+            return None
+        return tel.begin(name, track, cat, **args)
+
+    def span_end(self, span: Optional[Any], **args: Any) -> None:
+        """Close a span from :meth:`span_begin` (no-op on None)."""
+        tel = self.telemetry
+        if tel is not None and span is not None:
+            tel.end(span, **args)
 
     # -- scheduling primitives (kernel-internal) ------------------------------
     def _enqueue_at(self, time: float, event: Event) -> None:

@@ -1,181 +1,33 @@
-"""Telemetry recording for simulations.
+"""Deprecated home of the telemetry primitives — use :mod:`repro.telemetry`.
 
-Two recorders cover the experiments' needs:
-
-* :class:`Tracer` — append-only log of ``(time, category, payload)`` rows with
-  cheap category filtering; used for request-level traces.
-* :class:`TimeWeightedGauge` — a piecewise-constant value over time that can
-  report its time-weighted histogram; this directly produces the paper's
-  Figure 3 (CDF of time percentage at each concurrent-thread count).
+Everything that used to live here (``Tracer``, ``TraceRecord``,
+``TimeWeightedGauge``, ``GaugeSample``, ``CounterSet``) moved into the
+unified :mod:`repro.telemetry` subsystem.  This module remains as an
+import-compatible shim for one release: attribute access resolves to the
+new home and emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Tuple
+import warnings
+from typing import List
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .kernel import Simulator
-
-
-@dataclass(frozen=True)
-class TraceRecord:
-    """One trace row."""
-
-    time: float
-    category: str
-    payload: Any = None
+_MOVED = ("Tracer", "TraceRecord", "TimeWeightedGauge", "GaugeSample", "CounterSet")
 
 
-class Tracer:
-    """Append-only trace log with per-category indexing.
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.simcore.tracing.{name} is deprecated; "
+            f"import it from repro.telemetry instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .. import telemetry
 
-    Disabled tracers (``enabled=False``) drop records at near-zero cost so
-    production-scale runs don't pay for telemetry they don't read.
-    """
-
-    def __init__(self, sim: "Simulator", enabled: bool = True) -> None:
-        self.sim = sim
-        self.enabled = enabled
-        self.records: List[TraceRecord] = []
-        self._by_category: Dict[str, List[TraceRecord]] = {}
-
-    def record(self, category: str, payload: Any = None) -> None:
-        if not self.enabled:
-            return
-        row = TraceRecord(self.sim.now, category, payload)
-        self.records.append(row)
-        self._by_category.setdefault(category, []).append(row)
-
-    def category(self, category: str) -> List[TraceRecord]:
-        return self._by_category.get(category, [])
-
-    def categories(self) -> List[str]:
-        return sorted(self._by_category)
-
-    def __len__(self) -> int:
-        return len(self.records)
-
-    def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self.records)
+        return getattr(telemetry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-@dataclass
-class GaugeSample:
-    """A piecewise-constant segment ``[start, end)`` at ``value``."""
-
-    start: float
-    end: float
-    value: float
-
-
-class TimeWeightedGauge:
-    """A value that changes at discrete times; reports time-in-state stats.
-
-    Used to track "number of producer threads actively reading" — the gauge's
-    :meth:`histogram` gives seconds spent at each level, and
-    :meth:`time_fraction_at_or_below` reconstructs the paper's Figure 3 CDF.
-    """
-
-    def __init__(self, sim: "Simulator", initial: float = 0.0, name: str = "gauge") -> None:
-        self.sim = sim
-        self.name = name
-        self._value = float(initial)
-        self._since = sim.now
-        self._start = sim.now
-        #: seconds accumulated at each observed value
-        self._time_at: Dict[float, float] = {}
-        self._history: List[GaugeSample] = []
-        self.record_history = False
-
-    @property
-    def value(self) -> float:
-        return self._value
-
-    def set(self, value: float) -> None:
-        now = self.sim.now
-        if value == self._value:
-            return
-        self._flush(now)
-        self._value = float(value)
-        self._since = now
-
-    def increment(self, delta: float = 1.0) -> None:
-        self.set(self._value + delta)
-
-    def decrement(self, delta: float = 1.0) -> None:
-        self.set(self._value - delta)
-
-    def _flush(self, now: float) -> None:
-        duration = now - self._since
-        if duration > 0:
-            self._time_at[self._value] = self._time_at.get(self._value, 0.0) + duration
-            if self.record_history:
-                self._history.append(GaugeSample(self._since, now, self._value))
-
-    def histogram(self) -> Dict[float, float]:
-        """Seconds spent at each value, including the in-progress segment."""
-        self._flush(self.sim.now)
-        self._since = self.sim.now
-        return dict(self._time_at)
-
-    def total_time(self) -> float:
-        return max(self.sim.now - self._start, 0.0)
-
-    def time_fraction_at(self, value: float) -> float:
-        hist = self.histogram()
-        total = sum(hist.values())
-        if total <= 0:
-            return 0.0
-        return hist.get(float(value), 0.0) / total
-
-    def time_fraction_at_or_below(self, value: float) -> float:
-        """CDF over time: fraction of elapsed time the gauge was <= value."""
-        hist = self.histogram()
-        total = sum(hist.values())
-        if total <= 0:
-            return 0.0
-        return sum(t for v, t in hist.items() if v <= value) / total
-
-    def mean(self) -> float:
-        """Time-weighted mean value."""
-        hist = self.histogram()
-        total = sum(hist.values())
-        if total <= 0:
-            return self._value
-        return sum(v * t for v, t in hist.items()) / total
-
-    def max_seen(self) -> float:
-        hist = self.histogram()
-        candidates = list(hist) + [self._value]
-        return max(candidates)
-
-    def cdf_points(self) -> List[Tuple[float, float]]:
-        """Sorted ``(value, cumulative time fraction)`` points."""
-        hist = self.histogram()
-        total = sum(hist.values())
-        points: List[Tuple[float, float]] = []
-        acc = 0.0
-        for v in sorted(hist):
-            acc += hist[v]
-            points.append((v, acc / total if total > 0 else 0.0))
-        return points
-
-
-class CounterSet:
-    """A named bag of monotonically increasing counters."""
-
-    def __init__(self) -> None:
-        self._counters: Dict[str, float] = {}
-
-    def add(self, name: str, amount: float = 1.0) -> None:
-        self._counters[name] = self._counters.get(name, 0.0) + amount
-
-    def get(self, name: str) -> float:
-        return self._counters.get(name, 0.0)
-
-    def as_dict(self) -> Dict[str, float]:
-        return dict(self._counters)
-
-    def __getitem__(self, name: str) -> float:
-        return self.get(name)
+def __dir__() -> List[str]:
+    return sorted(list(globals()) + list(_MOVED))

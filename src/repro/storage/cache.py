@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..simcore.resources import KeyedIndex
-from ..simcore.tracing import CounterSet
+from ..telemetry import CounterSet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simcore.kernel import Simulator
@@ -61,11 +61,18 @@ class PageCache:
 
     def lookup(self, path: str) -> bool:
         """Check for ``path``; updates recency and hit/miss counters."""
+        tel = self.sim.telemetry
         if path in self._entries:
             self._entries.touch(path)
             self.counters.add("hits")
+            if tel is not None:
+                tel.instant("cache.hit", f"storage.{self.name}", "storage", path=path)
+                tel.registry.counter("storage.cache_lookups_total", cache=self.name, outcome="hit").inc()
             return True
         self.counters.add("misses")
+        if tel is not None:
+            tel.instant("cache.miss", f"storage.{self.name}", "storage", path=path)
+            tel.registry.counter("storage.cache_lookups_total", cache=self.name, outcome="miss").inc()
         return False
 
     def hit_service_time(self, nbytes: float) -> float:

@@ -20,7 +20,7 @@ import numpy as np
 
 from ..simcore.event import Event
 from ..simcore.resources import Resource
-from ..simcore.tracing import CounterSet
+from ..telemetry import CounterSet
 from .fluid import FairShareChannel, saturating_capacity
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -262,19 +262,48 @@ class BlockDevice:
         sigma = self.profile.latency_jitter
         return base * float(self._latency_rng.lognormal(mean=0.0, sigma=sigma))
 
-    def _request(self, channel: FairShareChannel, latency: float, nbytes: float, weight: float) -> Event:
+    def _request(
+        self,
+        channel: FairShareChannel,
+        latency: float,
+        nbytes: float,
+        weight: float,
+        op: str = "read",
+    ) -> Event:
         done = Event(self.sim, name=f"io:{self.name}")
 
         def io_process():
-            lat = self._latency(latency)
-            if lat > 0:
-                if self._seek_slots is not None:
-                    slot = yield self._seek_slots.request()
-                    yield self.sim.timeout(lat)
-                    self._seek_slots.release(slot)
-                else:
-                    yield self.sim.timeout(lat)
-            duration = yield channel.transfer(nbytes, weight=weight)
+            tel = self.sim.telemetry
+            span = None
+            if tel is not None:
+                span = tel.begin(
+                    f"dev.{op}", f"storage.{self.name}", "storage", lane=True, bytes=float(nbytes)
+                )
+            try:
+                lat = self._latency(latency)
+                if lat > 0:
+                    if self._seek_slots is not None:
+                        # Queue-wait for the (possibly single) seek slot —
+                        # nested on the request's own lane, which it owns
+                        # exclusively until the outer span ends.
+                        wait = tel.begin("dev.seek_wait", span.track, "storage") if tel else None
+                        slot = yield self._seek_slots.request()
+                        if wait is not None:
+                            tel.end(wait)
+                        yield self.sim.timeout(lat)
+                        self._seek_slots.release(slot)
+                    else:
+                        yield self.sim.timeout(lat)
+                service = tel.begin("dev.transfer", span.track, "storage") if tel else None
+                duration = yield channel.transfer(nbytes, weight=weight)
+                if service is not None:
+                    tel.end(service)
+            except BaseException:
+                if span is not None:
+                    tel.end(span, ok=False)
+                raise
+            if span is not None:
+                tel.end(span, ok=True)
             return lat + duration
 
         proc = self.sim.process(io_process(), name=f"io:{self.name}")
@@ -295,9 +324,11 @@ class BlockDevice:
         if nbytes >= self.profile.large_read_threshold:
             self.counters.add("sequential_reads")
             return self._request(
-                self._seq_read_channel, self.profile.read_latency, nbytes, weight
+                self._seq_read_channel, self.profile.read_latency, nbytes, weight, op="seqread"
             )
-        return self._request(self._read_channel, self.profile.read_latency, nbytes, weight)
+        return self._request(
+            self._read_channel, self.profile.read_latency, nbytes, weight, op="read"
+        )
 
     def write(self, nbytes: float, weight: float = 1.0) -> Event:
         """Write ``nbytes``; the event value is the total service time."""
@@ -305,7 +336,9 @@ class BlockDevice:
             raise ValueError("nbytes must be non-negative")
         self.counters.add("writes")
         self.counters.add("write_bytes", nbytes)
-        return self._request(self._write_channel, self.profile.write_latency, nbytes, weight)
+        return self._request(
+            self._write_channel, self.profile.write_latency, nbytes, weight, op="write"
+        )
 
     def degrade_reads(self, factor: float) -> None:
         """Scale read bandwidth by ``factor`` at run time (fault injection).

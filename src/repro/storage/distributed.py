@@ -25,7 +25,7 @@ import hashlib
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from ..simcore.event import Event
-from ..simcore.tracing import CounterSet
+from ..telemetry import CounterSet
 from .cache import PageCache
 from .device import BlockDevice, DeviceProfile, GiB, intel_p4600
 from .filesystem import FaultHook, FileExists, FileNotFound, InvalidRead, SimFile

@@ -160,22 +160,40 @@ class Filesystem:
         done = Event(self.sim, name=f"fsread:{path}")
 
         def read_process():
-            if nbytes == 0:
-                # Metadata-only: model a syscall round trip.
-                yield self.sim.timeout(1e-6)
-                return 0
-            fault = self.fault_hook(path, nbytes) if self.fault_hook is not None else None
-            if fault is not None:
-                if fault.extra_latency > 0:
-                    yield self.sim.timeout(fault.extra_latency)
-                if fault.error is not None:
-                    raise fault.error
-            if self.cache.capacity_bytes > 0 and self.cache.lookup(path):
-                yield self.sim.timeout(self.cache.hit_service_time(nbytes))
-                return nbytes
-            yield self.device.read(nbytes)
-            if self.cache.capacity_bytes > 0:
-                self.cache.insert(path, meta.size)
+            tel = self.sim.telemetry
+            span = None
+            if tel is not None:
+                span = tel.begin(
+                    "fs.read", f"storage.{self.name}", "storage", lane=True,
+                    path=path, bytes=nbytes,
+                )
+            try:
+                if nbytes == 0:
+                    # Metadata-only: model a syscall round trip.
+                    yield self.sim.timeout(1e-6)
+                    if span is not None:
+                        tel.end(span, outcome="empty")
+                    return 0
+                fault = self.fault_hook(path, nbytes) if self.fault_hook is not None else None
+                if fault is not None:
+                    if fault.extra_latency > 0:
+                        yield self.sim.timeout(fault.extra_latency)
+                    if fault.error is not None:
+                        raise fault.error
+                if self.cache.capacity_bytes > 0 and self.cache.lookup(path):
+                    yield self.sim.timeout(self.cache.hit_service_time(nbytes))
+                    if span is not None:
+                        tel.end(span, outcome="cache-hit")
+                    return nbytes
+                yield self.device.read(nbytes)
+                if self.cache.capacity_bytes > 0:
+                    self.cache.insert(path, meta.size)
+            except BaseException as exc:
+                if span is not None:
+                    tel.end(span, outcome="error", error=type(exc).__name__)
+                raise
+            if span is not None:
+                tel.end(span, outcome="device")
             return nbytes
 
         proc = self.sim.process(read_process(), name=f"fsread:{path}")

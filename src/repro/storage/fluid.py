@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List
 
 from ..simcore.errors import SimulationError
 from ..simcore.event import Event
-from ..simcore.tracing import TimeWeightedGauge
+from ..telemetry import TimeWeightedGauge
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simcore.kernel import Simulator

@@ -1,0 +1,79 @@
+"""``repro.telemetry`` — the unified observability layer.
+
+One subsystem owns every measurement the simulator produces:
+
+* **Spans** (:class:`Telemetry`, :class:`Span`, :class:`TraceContext`) —
+  begin/end intervals and instant events on named tracks, stamped with
+  sim-time, threaded across layers by trace contexts.
+* **Metrics** (:class:`MetricsRegistry`, :class:`Counter`, :class:`Gauge`,
+  :class:`Histogram`) — labelled instruments with near-zero disabled cost.
+* **Sim-clock instruments** (:class:`TimeWeightedGauge`,
+  :class:`CounterSet`) and **recorders** (:class:`LatencyRecorder`) —
+  the pre-existing primitives, now homed here.
+* **Exporters** (:func:`write_chrome_trace`, :func:`write_jsonl`,
+  :func:`write_csv`) — Chrome/Perfetto trace JSON plus flat rows, all
+  byte-deterministic under a fixed simulation seed.
+
+Typical use::
+
+    from repro.telemetry import Telemetry, write_chrome_trace
+
+    tel = Telemetry()
+    sim = Simulator(seed=7)
+    tel.attach(sim, process="tf-prisma")
+    ...  # build + run; every layer reports through sim.telemetry
+    write_chrome_trace(tel, "trace.json")
+
+The legacy homes (``repro.simcore.tracing``, ``repro.metrics``'s recorder
+names, ``repro.core.control.MetricsSnapshot``) still import but emit
+:class:`DeprecationWarning`; new code imports from here.
+"""
+
+from .export import (
+    chrome_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_csv,
+    write_jsonl,
+    write_metrics_json,
+)
+from .hub import Telemetry
+from .instruments import CounterSet, GaugeSample, TimeWeightedGauge
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .recorders import LatencyRecorder, LatencySummary
+from .snapshot import MetricsSnapshot
+from .spans import PHASE_DURATION, PHASE_INSTANT, CounterSample, Span, TraceContext
+from .tracer import Tracer, TraceRecord
+
+__all__ = [
+    # hub + span model
+    "Telemetry",
+    "Span",
+    "TraceContext",
+    "CounterSample",
+    "PHASE_DURATION",
+    "PHASE_INSTANT",
+    # metrics registry
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    # sim-clock instruments
+    "TimeWeightedGauge",
+    "GaugeSample",
+    "CounterSet",
+    # recorders
+    "LatencyRecorder",
+    "LatencySummary",
+    "MetricsSnapshot",
+    # row tracer
+    "Tracer",
+    "TraceRecord",
+    # exporters
+    "chrome_trace_events",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_csv",
+    "write_jsonl",
+    "write_metrics_json",
+]

@@ -1,0 +1,137 @@
+"""Sim-clock instruments: time-weighted gauges and counter bags.
+
+These are the simulation-aware primitives the data plane has always used
+(previously homed in ``repro.simcore.tracing``): a
+:class:`TimeWeightedGauge` integrates a piecewise-constant value over
+simulated time — it directly produces the paper's Figure 3 CDF — and a
+:class:`CounterSet` is a named bag of monotonic counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.kernel import Simulator
+
+
+@dataclass
+class GaugeSample:
+    """A piecewise-constant segment ``[start, end)`` at ``value``."""
+
+    start: float
+    end: float
+    value: float
+
+
+class TimeWeightedGauge:
+    """A value that changes at discrete times; reports time-in-state stats.
+
+    Used to track "number of producer threads actively reading" — the gauge's
+    :meth:`histogram` gives seconds spent at each level, and
+    :meth:`time_fraction_at_or_below` reconstructs the paper's Figure 3 CDF.
+    """
+
+    def __init__(self, sim: "Simulator", initial: float = 0.0, name: str = "gauge") -> None:
+        self.sim = sim
+        self.name = name
+        self._value = float(initial)
+        self._since = sim.now
+        self._start = sim.now
+        #: seconds accumulated at each observed value
+        self._time_at: Dict[float, float] = {}
+        self._history: List[GaugeSample] = []
+        self.record_history = False
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        now = self.sim.now
+        if value == self._value:
+            return
+        self._flush(now)
+        self._value = float(value)
+        self._since = now
+
+    def increment(self, delta: float = 1.0) -> None:
+        self.set(self._value + delta)
+
+    def decrement(self, delta: float = 1.0) -> None:
+        self.set(self._value - delta)
+
+    def _flush(self, now: float) -> None:
+        duration = now - self._since
+        if duration > 0:
+            self._time_at[self._value] = self._time_at.get(self._value, 0.0) + duration
+            if self.record_history:
+                self._history.append(GaugeSample(self._since, now, self._value))
+
+    def histogram(self) -> Dict[float, float]:
+        """Seconds spent at each value, including the in-progress segment."""
+        self._flush(self.sim.now)
+        self._since = self.sim.now
+        return dict(self._time_at)
+
+    def total_time(self) -> float:
+        return max(self.sim.now - self._start, 0.0)
+
+    def time_fraction_at(self, value: float) -> float:
+        hist = self.histogram()
+        total = sum(hist.values())
+        if total <= 0:
+            return 0.0
+        return hist.get(float(value), 0.0) / total
+
+    def time_fraction_at_or_below(self, value: float) -> float:
+        """CDF over time: fraction of elapsed time the gauge was <= value."""
+        hist = self.histogram()
+        total = sum(hist.values())
+        if total <= 0:
+            return 0.0
+        return sum(t for v, t in hist.items() if v <= value) / total
+
+    def mean(self) -> float:
+        """Time-weighted mean value."""
+        hist = self.histogram()
+        total = sum(hist.values())
+        if total <= 0:
+            return self._value
+        return sum(v * t for v, t in hist.items()) / total
+
+    def max_seen(self) -> float:
+        hist = self.histogram()
+        candidates = list(hist) + [self._value]
+        return max(candidates)
+
+    def cdf_points(self) -> List[Tuple[float, float]]:
+        """Sorted ``(value, cumulative time fraction)`` points."""
+        hist = self.histogram()
+        total = sum(hist.values())
+        points: List[Tuple[float, float]] = []
+        acc = 0.0
+        for v in sorted(hist):
+            acc += hist[v]
+            points.append((v, acc / total if total > 0 else 0.0))
+        return points
+
+
+class CounterSet:
+    """A named bag of monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    def __getitem__(self, name: str) -> float:
+        return self.get(name)

@@ -1,0 +1,206 @@
+"""The metrics registry: labelled counters, gauges, and histograms.
+
+One registry per :class:`~repro.telemetry.hub.Telemetry` hub (or standalone).
+Instruments are interned by ``(name, labels)`` so repeated lookups on a hot
+path return the same object; callers that care about the last few
+nanoseconds should still cache the instrument reference.
+
+A disabled registry hands out shared no-op instruments, so instrumented
+code pays one dict lookup at *creation* and nothing per observation —
+"near-zero cost when disabled".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A distribution of observations (exact up to ``max_samples``).
+
+    Keeps raw samples (bounded) plus running count/sum/min/max, so small
+    runs get exact percentiles and unbounded runs keep O(1) memory once the
+    sample cap is hit (later observations still update the running stats).
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "minimum", "maximum", "_samples", "max_samples")
+
+    def __init__(self, name: str, labels: _LabelKey = (), max_samples: int = 100_000) -> None:
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self._samples: List[float] = []
+        self.max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained samples."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(int(q / 100.0 * len(ordered)), len(ordered) - 1)
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self.maximum,
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: D102 - no-op
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: D102 - no-op
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:  # noqa: D102 - no-op
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null")
+
+
+class MetricsRegistry:
+    """Interned, labelled instruments with a single collection point."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: Dict[Tuple[str, str, _LabelKey], object] = {}
+
+    def _intern(self, kind: str, factory, name: str, labels: Dict[str, object]):
+        key = (kind, name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = factory(name, key[2])
+            self._instruments[key] = inst
+        return inst
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        return self._intern("counter", Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        return self._intern("gauge", Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        return self._intern("histogram", Histogram, name, labels)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._instruments.values())
+
+    def get(self, kind: str, name: str, **labels: object) -> Optional[object]:
+        """Look up an existing instrument without creating it."""
+        return self._instruments.get((kind, name, _label_key(labels)))
+
+    def collect(self) -> List[Dict[str, object]]:
+        """Deterministic flat dump of every instrument's current state."""
+        rows: List[Dict[str, object]] = []
+        for (kind, name, labels), inst in sorted(
+            self._instruments.items(), key=lambda kv: kv[0]
+        ):
+            row: Dict[str, object] = {
+                "kind": kind,
+                "name": name,
+                "labels": dict(labels),
+            }
+            if isinstance(inst, Histogram):
+                row.update(inst.summary())
+            else:
+                row["value"] = inst.value  # type: ignore[attr-defined]
+            rows.append(row)
+        return rows

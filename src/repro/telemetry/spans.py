@@ -1,0 +1,77 @@
+"""Span primitives: what one timed (or instant) observation looks like.
+
+A :class:`Span` is one interval on one *track* (a logical thread of
+activity: a device, a producer, the control loop).  Spans carry a
+``category`` naming the emitting layer — ``storage`` / ``buffer`` /
+``prefetcher`` / ``control`` / ``stage`` — which is what lets the exporters
+and tests ask "did every layer report?".
+
+A :class:`TraceContext` is the request identity threaded from the stage's
+POSIX surface down through the optimization objects and (on fallback reads)
+into storage: spans emitted while a context is current inherit its
+``trace_id``, so one consumer read can be followed across layers in the
+exported trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Span phases (mirroring the Chrome-trace event phases they export to).
+PHASE_DURATION = "X"  # a [start, end] interval (exported as a B/E pair)
+PHASE_INSTANT = "i"  # a point event
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity of one request as it crosses layers."""
+
+    trace_id: int
+    path: Optional[str] = None
+
+
+@dataclass
+class Span:
+    """One observation: an interval on a track, or an instant event."""
+
+    name: str
+    track: str
+    category: str
+    process: str
+    start: float
+    end: Optional[float] = None
+    phase: str = PHASE_DURATION
+    trace_id: Optional[int] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+    #: hub emission order of the begin / end edges; break same-timestamp
+    #: ties in exports so B/E pairs stay well-nested (zero-length spans!)
+    seq: int = 0
+    end_seq: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.phase == PHASE_INSTANT or self.end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.phase == PHASE_INSTANT:
+            return 0.0
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tail = "…" if self.end is None else f"{self.duration:.6f}s"
+        return f"<Span {self.category}/{self.name} @{self.start:.6f} {tail}>"
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One sample of a numeric series (exported as a Chrome counter event)."""
+
+    name: str
+    process: str
+    time: float
+    value: float
+    seq: int = 0

@@ -1,0 +1,61 @@
+"""The row-level tracer: append-only ``(time, category, payload)`` log.
+
+Previously homed in ``repro.simcore.tracing``.  The class keeps its exact
+legacy behaviour (records list, per-category index, ``enabled`` flag), and
+additionally mirrors every record into an attached :class:`Telemetry` hub as
+an instant event, so legacy ``Tracer`` call sites show up in Chrome-trace
+exports without having to be rewritten.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace row."""
+
+    time: float
+    category: str
+    payload: Any = None
+
+
+class Tracer:
+    """Append-only trace log with per-category indexing.
+
+    Disabled tracers (``enabled=False``) drop records at near-zero cost so
+    production-scale runs don't pay for telemetry they don't read.
+    """
+
+    def __init__(self, sim: "Simulator", enabled: bool = True) -> None:
+        self.sim = sim
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+        self._by_category: Dict[str, List[TraceRecord]] = {}
+
+    def record(self, category: str, payload: Any = None) -> None:
+        if not self.enabled:
+            return
+        row = TraceRecord(self.sim.now, category, payload)
+        self.records.append(row)
+        self._by_category.setdefault(category, []).append(row)
+        hub = getattr(self.sim, "telemetry", None)
+        if hub is not None:
+            hub.instant(category, track="tracer", cat="tracer", payload=repr(payload))
+
+    def category(self, category: str) -> List[TraceRecord]:
+        return self._by_category.get(category, [])
+
+    def categories(self) -> List[str]:
+        return sorted(self._by_category)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List
 
-from ..metrics.timeseries import LatencyRecorder
+from ..telemetry import LatencyRecorder
 from .format import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
