@@ -1,11 +1,16 @@
 """``repro.core.control`` — PRISMA's control plane.
 
-The logically centralized side of the SDS split: the periodic
-:class:`Controller` loop, tuning :class:`~.policy.ControlPolicy` objects
-(including the paper's feedback auto-tuner and the graceful-degradation
-wrapper), per-stage :class:`~.monitor.MetricsHistory`, and the
-:class:`~.rpc.ControlChannel` linking planes (typed failures, retry with
-backoff under a time budget).
+The logically centralized side of the SDS split, built around one shared
+:class:`~.kernel.ControlCycle` (the monitor→decide→enforce kernel) that
+every deployment shape drives: the simulated :class:`Controller` (kernel
+process + :class:`~.kernel.ChannelTransport` RPC), the wall-clock
+:class:`~repro.core.live.LiveController` (daemon thread +
+:class:`~.kernel.DirectTransport`), and the failover pair
+:class:`ReplicatedController`.  Alongside: tuning
+:class:`~.policy.ControlPolicy` objects (including the paper's feedback
+auto-tuner and the graceful-degradation wrapper), per-stage bounded
+:class:`~.monitor.MetricsHistory`, and the :class:`~.rpc.ControlChannel`
+linking planes (typed failures, retry with backoff under a time budget).
 
 ``MetricsSnapshot`` — the monitoring record stages report — now lives in
 :mod:`repro.telemetry` (re-exported by :mod:`repro.core`); importing it
@@ -15,9 +20,19 @@ from here still works for one release but emits a
 
 import warnings
 
-from .controller import Controller, GlobalPolicy
+from .controller import Controller
+from .kernel import (
+    ChannelTransport,
+    ControlCycle,
+    ControlTransport,
+    DirectTransport,
+    GlobalPolicy,
+    KernelRegistration,
+    PortCall,
+    StagePort,
+)
 from .replicated import ReplicatedController
-from .monitor import MetricsHistory
+from .monitor import DEFAULT_MAX_ENTRIES, MetricsHistory
 from .policy import (
     AutotuneParams,
     ControlPolicy,
@@ -56,14 +71,21 @@ def __getattr__(name):
 
 __all__ = [
     "AutotuneParams",
+    "ChannelTransport",
     "ControlChannel",
+    "ControlCycle",
     "ControlPolicy",
+    "ControlTransport",
     "Controller",
+    "DEFAULT_MAX_ENTRIES",
     "DegradedModeParams",
     "DegradedModePolicy",
+    "DirectTransport",
     "GlobalPolicy",
+    "KernelRegistration",
     "LOCAL_LATENCY",
     "MetricsHistory",
+    "PortCall",
     "OscillationDampedPolicy",
     "PrismaAutotunePolicy",
     "REMOTE_LATENCY",
@@ -74,5 +96,6 @@ __all__ = [
     "RpcRetriesExhausted",
     "RpcTimeout",
     "RpcTransportError",
+    "StagePort",
     "StaticPolicy",
 ]

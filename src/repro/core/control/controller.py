@@ -1,9 +1,11 @@
-"""The control plane: a logically centralized controller (paper §III-A).
+"""The simulated control-plane driver (paper §III-A).
 
-The controller periodically polls every registered data-plane stage over its
-control channel, feeds the snapshots to the stage's policy (or to a single
-*global* policy with visibility over all stages at once — the "system-wide
-visibility" the paper argues for), and pushes resulting knob changes back.
+All monitor→decide→enforce logic lives in the shared
+:class:`~.kernel.ControlCycle`; this module contributes only what is
+specific to the *simulated* deployment shape: a kernel process that wakes
+every ``period`` of simulated time, and :class:`~.kernel.ChannelTransport`
+instances that carry each control call over a latency/fault-modelled
+:class:`~.rpc.ControlChannel`.
 
 Centralization is what makes holistic behaviour possible: a global policy
 can, e.g., divide a machine-wide producer-thread budget among competing
@@ -13,46 +15,28 @@ training jobs, something no framework-intrinsic optimizer can do (paper §II
 
 from __future__ import annotations
 
-import abc
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ...simcore.errors import Interrupt
-from ..optimization import MetricsSnapshot, TuningSettings
+from .kernel import ChannelTransport, ControlCycle, GlobalPolicy
 from .monitor import MetricsHistory
 from .policy import ControlPolicy
-from .rpc import ControlChannel, RetryPolicy, RpcRetriesExhausted, RpcTransportError
+from .rpc import ControlChannel, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...simcore.kernel import Simulator
-    from ..stage import PrismaStage
+    from .kernel import StagePort
 
-
-class GlobalPolicy(abc.ABC):
-    """A policy that decides over *all* stages jointly."""
-
-    @abc.abstractmethod
-    def decide_all(
-        self, histories: Dict[str, MetricsHistory]
-    ) -> Dict[str, TuningSettings]:
-        """Map stage name -> new settings (omit stages to leave unchanged)."""
-
-
-@dataclass
-class _Registration:
-    stage: "PrismaStage"
-    policy: Optional[ControlPolicy]
-    channel: ControlChannel
-    history: MetricsHistory = field(init=False)
-    #: degraded-mode state seen at the last cycle (telemetry edge detection)
-    last_engaged: bool = field(default=False, init=False)
-
-    def __post_init__(self) -> None:
-        self.history = MetricsHistory(self.stage.name)
+__all__ = ["Controller", "GlobalPolicy"]
 
 
 class Controller:
-    """Periodic monitor/decide/enforce loop over registered stages."""
+    """Periodic monitor/decide/enforce loop over registered stages.
+
+    A thin driver: owns the simulated clock (one cycle per ``period`` of
+    sim time, interruptible process) and the channel transports; delegates
+    the cycle itself to the shared :class:`~.kernel.ControlCycle`.
+    """
 
     def __init__(
         self,
@@ -68,11 +52,7 @@ class Controller:
         self.sim = sim
         self.period = period
         self.name = name
-        self.global_policy = global_policy
-        self._registrations: List[_Registration] = []
         self._process = None
-        self.cycles = 0
-        self.enforcements = 0
         #: per-attempt RPC deadline; defaults to half a control period so a
         #: wedged channel can never stall the loop across cycles
         self.rpc_timeout = rpc_timeout if rpc_timeout is not None else period / 2
@@ -80,41 +60,59 @@ class Controller:
         self.retry_policy = retry_policy or RetryPolicy(
             max_attempts=3, base_delay=period / 20, max_delay=period / 4, budget=period
         )
-        #: monitor polls or enforcement pushes abandoned after retries —
-        #: the stage keeps its previous settings for that cycle (degraded
-        #: but alive, never crashed)
-        self.rpc_failures = 0
-        #: simulated time of the last completed control cycle (heartbeat
-        #: for the dependability machinery in :mod:`.replicated`)
-        self.last_cycle_time: float = float("-inf")
+        self.kernel = ControlCycle(
+            name,
+            clock=lambda: self.sim.now,
+            telemetry=lambda: self.sim.telemetry,
+            global_policy=global_policy,
+        )
+
+    # -- kernel accounting, re-exposed -------------------------------------------
+    @property
+    def global_policy(self) -> Optional[GlobalPolicy]:
+        return self.kernel.global_policy
+
+    @property
+    def cycles(self) -> int:
+        return self.kernel.cycles
+
+    @property
+    def enforcements(self) -> int:
+        return self.kernel.enforcements
+
+    @property
+    def rpc_failures(self) -> int:
+        return self.kernel.rpc_failures
+
+    @property
+    def last_cycle_time(self) -> float:
+        return self.kernel.last_cycle_time
 
     # -- registration ------------------------------------------------------------
     def register(
         self,
-        stage: "PrismaStage",
+        stage: "StagePort",
         policy: Optional[ControlPolicy] = None,
         channel: Optional[ControlChannel] = None,
     ) -> MetricsHistory:
         """Attach a stage; returns its history for later inspection."""
-        if policy is None and self.global_policy is None:
-            raise ValueError("a per-stage policy or a global policy is required")
-        reg = _Registration(
-            stage=stage,
-            policy=policy,
-            channel=channel or ControlChannel(self.sim, name=f"{self.name}.ch"),
+        transport = ChannelTransport(
+            channel or ControlChannel(self.sim, name=f"{self.name}.ch"),
+            retry_policy=self.retry_policy,
+            timeout=self.rpc_timeout,
         )
-        self._registrations.append(reg)
-        return reg.history
+        return self.kernel.register(stage, policy, transport)
 
     def channels(self) -> List[ControlChannel]:
         """Every registered stage's control channel (fault-injection targets)."""
-        return [reg.channel for reg in self._registrations]
+        return [
+            reg.transport.channel
+            for reg in self.kernel.registrations()
+            if isinstance(reg.transport, ChannelTransport)
+        ]
 
     def history_for(self, stage_name: str) -> MetricsHistory:
-        for reg in self._registrations:
-            if reg.stage.name == stage_name:
-                return reg.history
-        raise KeyError(stage_name)
+        return self.kernel.history_for(stage_name)
 
     # -- control loop -------------------------------------------------------------
     def start(self) -> None:
@@ -131,118 +129,7 @@ class Controller:
         try:
             while True:
                 yield self.sim.timeout(self.period)
-                yield from self._cycle()
-                self.cycles += 1
-                self.last_cycle_time = self.sim.now
+                yield from self.kernel.run_events()
+                self.kernel.complete_cycle()
         except Interrupt:
             return
-
-    def _call(self, reg: _Registration, fn, *args):
-        """One reliable control-plane RPC: retry/backoff, typed failure."""
-        return reg.channel.call_with_retry(
-            fn, *args, policy=self.retry_policy, timeout=self.rpc_timeout
-        )
-
-    @staticmethod
-    def _degraded_state(policy) -> Optional[bool]:
-        """Walk a (possibly wrapped) policy chain for degraded-mode state."""
-        seen = set()
-        while policy is not None and id(policy) not in seen:
-            seen.add(id(policy))
-            engaged = getattr(policy, "engaged", None)
-            if engaged is not None:
-                return bool(engaged)
-            policy = getattr(policy, "inner", None)
-        return None
-
-    def _note_decision(self, tel, reg: _Registration, decision, policy) -> None:
-        """Emit the policy-decision event and any degraded-mode transition."""
-        if tel is None:
-            return
-        tel.instant(
-            "control.decision",
-            self.name,
-            "control",
-            stage=reg.stage.name,
-            producers=decision.producers,
-            buffer_capacity=decision.buffer_capacity,
-            reason=getattr(policy, "last_reason", None),
-        )
-        engaged = self._degraded_state(policy)
-        if engaged is not None and engaged != reg.last_engaged:
-            reg.last_engaged = engaged
-            tel.instant(
-                "control.degraded_engage" if engaged else "control.degraded_recover",
-                self.name,
-                "control",
-                stage=reg.stage.name,
-            )
-
-    def _cycle(self):
-        # Monitor: poll every stage.  Multi-object stages report one
-        # snapshot per optimization object; record their aggregate
-        # (summed counters, last-writer gauges) so no object's traffic is
-        # silently dropped from the history.  A stage whose channel stays
-        # down through the retry budget is skipped for the cycle — the
-        # control plane degrades (stale knobs) rather than crashing.
-        tel = self.sim.telemetry
-        for reg in self._registrations:
-            span = None
-            if tel is not None:
-                span = tel.begin(
-                    "control.monitor", self.name, "control", stage=reg.stage.name
-                )
-            try:
-                snapshots: List[MetricsSnapshot] = yield self._call(
-                    reg, reg.stage.control_snapshot
-                )
-            except (RpcTransportError, RpcRetriesExhausted) as exc:
-                self.rpc_failures += 1
-                if tel is not None:
-                    tel.end(span, ok=False, error=type(exc).__name__)
-                    tel.registry.counter("control.rpc_failures_total", controller=self.name).inc()
-                continue
-            if tel is not None:
-                tel.end(span, ok=True)
-            if snapshots:
-                reg.history.append(MetricsSnapshot.aggregate(snapshots))
-
-        # Decide + enforce.
-        if self.global_policy is not None:
-            histories = {reg.stage.name: reg.history for reg in self._registrations}
-            decisions = self.global_policy.decide_all(histories)
-            for reg in self._registrations:
-                settings = decisions.get(reg.stage.name)
-                if settings is not None:
-                    self._note_decision(tel, reg, settings, self.global_policy)
-                    ok = yield from self._enforce(tel, reg, settings)
-                    if not ok:
-                        continue
-            return
-
-        for reg in self._registrations:
-            assert reg.policy is not None
-            if reg.history.latest is None:
-                continue
-            decision = reg.policy.decide(reg.history.latest, reg.history.previous)
-            if decision is not None:
-                self._note_decision(tel, reg, decision, reg.policy)
-                yield from self._enforce(tel, reg, decision)
-
-    def _enforce(self, tel, reg: _Registration, settings):
-        """Push settings over the channel inside a ``control.enforce`` span."""
-        span = None
-        if tel is not None:
-            span = tel.begin("control.enforce", self.name, "control", stage=reg.stage.name)
-        try:
-            yield self._call(reg, reg.stage.control_apply, settings)
-        except (RpcTransportError, RpcRetriesExhausted) as exc:
-            self.rpc_failures += 1
-            if tel is not None:
-                tel.end(span, ok=False, error=type(exc).__name__)
-                tel.registry.counter("control.rpc_failures_total", controller=self.name).inc()
-            return False
-        if tel is not None:
-            tel.end(span, ok=True)
-        self.enforcements += 1
-        return True

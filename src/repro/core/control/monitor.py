@@ -7,23 +7,38 @@ series, producer allocation over time).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from collections import deque
+from itertools import islice
+from typing import Deque, List, Optional, Tuple
 
 from ..optimization import MetricsSnapshot
 
+#: Default retention bound: long-running live controllers poll for hours, so
+#: an unbounded history is a slow leak.  10k snapshots ≈ 17 minutes at the
+#: default 0.1 s live period — far more than any policy looks back — while
+#: capping memory at a few MB per stage.
+DEFAULT_MAX_ENTRIES = 10_000
+
 
 class MetricsHistory:
-    """Append-only history of one stage's snapshots."""
+    """Bounded history of one stage's snapshots (oldest evicted first).
 
-    def __init__(self, stage_name: str, max_entries: Optional[int] = None) -> None:
+    ``max_entries=None`` disables the bound (useful for short deterministic
+    experiments that post-process the full series).
+    """
+
+    def __init__(
+        self, stage_name: str, max_entries: Optional[int] = DEFAULT_MAX_ENTRIES
+    ) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive (or None for unbounded)")
         self.stage_name = stage_name
         self.max_entries = max_entries
-        self._snapshots: List[MetricsSnapshot] = []
+        # deque(maxlen=None) is unbounded; otherwise appends auto-evict O(1).
+        self._snapshots: Deque[MetricsSnapshot] = deque(maxlen=max_entries)
 
     def append(self, snapshot: MetricsSnapshot) -> None:
         self._snapshots.append(snapshot)
-        if self.max_entries is not None and len(self._snapshots) > self.max_entries:
-            del self._snapshots[0]
 
     def __len__(self) -> int:
         return len(self._snapshots)
@@ -43,7 +58,7 @@ class MetricsHistory:
     def starvation_series(self) -> List[Tuple[float, float]]:
         """(time, per-period starvation fraction) for every interval."""
         out: List[Tuple[float, float]] = []
-        for prev, cur in zip(self._snapshots, self._snapshots[1:]):
+        for prev, cur in zip(self._snapshots, islice(self._snapshots, 1, None)):
             out.append((cur.time, cur.starvation(prev)))
         return out
 

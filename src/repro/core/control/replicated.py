@@ -8,7 +8,8 @@ as an open direction.
 
 :class:`ReplicatedController` realizes the availability half: a primary
 :class:`~.controller.Controller` drives the stages while a standby watches
-its heartbeat (the primary's ``last_cycle_time``).  If the primary misses
+its heartbeat (the shared kernel's ``last_cycle_time``, stamped by
+:meth:`~.kernel.ControlCycle.complete_cycle`).  If the primary misses
 ``failover_multiplier`` control periods, the standby promotes itself and
 resumes the loop — the data plane keeps serving throughout (a controller
 outage never blocks reads; it only freezes tuning), so training continues
@@ -25,7 +26,7 @@ from .policy import ControlPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...simcore.kernel import Simulator
-    from ..stage import PrismaStage
+    from .kernel import StagePort
 
 
 class ReplicatedController:
@@ -54,7 +55,7 @@ class ReplicatedController:
     # -- registration (mirrored to both replicas) ---------------------------------
     def register(
         self,
-        stage: "PrismaStage",
+        stage: "StagePort",
         policy: Optional[ControlPolicy] = None,
         standby_policy: Optional[ControlPolicy] = None,
     ) -> None:

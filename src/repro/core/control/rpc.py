@@ -169,7 +169,7 @@ class ControlChannel:
             if done.triggered:
                 return  # the timeout beat us; late replies are discarded
             if p.ok:
-                done.succeed(p._value)
+                done.succeed(p.value)
                 return
             exc = p.exception
             # The kernel wraps process deaths in ProcessError; unwrap so
@@ -242,7 +242,7 @@ class ControlChannel:
 
         def settle(p: Event) -> None:
             if p.ok:
-                done.succeed(p._value)
+                done.succeed(p.value)
                 return
             exc = p.exception
             cause = exc.__cause__ if isinstance(exc, ProcessError) else exc

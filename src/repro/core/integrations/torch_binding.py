@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict
 
-from ...simcore.event import Event
+from ...simcore.event import Event, chain_result
 from ...simcore.resources import Store
 from ...telemetry import CounterSet, TimeWeightedGauge
 from ...storage.posix import BadFileDescriptor, PosixLike
@@ -155,10 +155,7 @@ class PrismaTorchClient(PosixLike):
             return nbytes
 
         proc = self.sim.process(round_trip(), name=f"uds.rt{self.worker_id}")
-        proc.add_callback(
-            lambda p: done.succeed(p._value) if p.ok else done.fail(p.exception)
-        )
-        return done
+        return chain_result(proc, done)
 
     def pread(self, fd: int, length: int, offset: int) -> Event:
         if fd not in self._open:
@@ -168,10 +165,7 @@ class PrismaTorchClient(PosixLike):
         path = self._open[fd]
         done = Event(self.sim, name="uds.pread")
         inner = self._request(path)
-        inner.add_callback(
-            lambda ev: done.succeed(min(ev._value, length)) if ev.ok else done.fail(ev.exception)
-        )
-        return done
+        return chain_result(inner, done, lambda nbytes: min(nbytes, length))
 
     def read(self, fd: int, length: int) -> Event:
         return self.pread(fd, length, 0)

@@ -17,11 +17,14 @@ same one-line substitution as the paper's bindings.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence, Tuple
 
 from ..control.policy import ControlPolicy, PrismaAutotunePolicy, StaticPolicy
 from .controller import LiveController
 from .prefetcher import LivePrefetcher
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...telemetry import Telemetry
 
 
 class LivePrisma:
@@ -35,6 +38,7 @@ class LivePrisma:
         autotune: bool = True,
         control_period: float = 0.1,
         policy: Optional[ControlPolicy] = None,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
         self.prefetcher = LivePrefetcher(
             producers=producers,
@@ -47,6 +51,7 @@ class LivePrisma:
                 self.prefetcher,
                 policy=policy or PrismaAutotunePolicy(),
                 period=control_period,
+                telemetry=telemetry,
             )
         self._started = False
 

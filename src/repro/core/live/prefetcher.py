@@ -39,6 +39,7 @@ class LivePrefetcher:
         buffer_capacity: int = 64,
         max_producers: int = 16,
         read_chunk: int = 1 << 20,
+        name: str = "live.prefetch",
     ) -> None:
         if producers < 1:
             raise ValueError("producers must be >= 1")
@@ -46,6 +47,7 @@ class LivePrefetcher:
             raise ValueError("max_producers must be >= producers")
         if read_chunk < 1:
             raise ValueError("read_chunk must be >= 1")
+        self.name = name
         self.buffer = LiveBuffer(buffer_capacity)
         self.max_producers = max_producers
         self.read_chunk = read_chunk
@@ -186,6 +188,8 @@ class LivePrefetcher:
     def snapshot(self) -> MetricsSnapshot:
         with self._lock:
             bytes_fetched = self.bytes_fetched
+            files_fetched = self.files_fetched
+            read_errors = self.read_errors
             live = self._live
             remaining = len(self._queue)
         return MetricsSnapshot(
@@ -199,6 +203,8 @@ class LivePrefetcher:
             producers_active=live,
             bytes_fetched=bytes_fetched,
             queue_remaining=remaining,
+            files_fetched=files_fetched,
+            read_errors=read_errors,
         )
 
     def apply_settings(self, settings: TuningSettings) -> None:
@@ -206,6 +212,14 @@ class LivePrefetcher:
             self.set_producers(settings.producers)
         if settings.buffer_capacity is not None:
             self.buffer.set_capacity(settings.buffer_capacity)
+
+    # The kernel's StagePort surface: same shape as the simulated
+    # PrismaStage, so one ControlCycle drives either data plane.
+    def control_snapshot(self) -> List[MetricsSnapshot]:
+        return [self.snapshot()]
+
+    def control_apply(self, settings: TuningSettings) -> None:
+        self.apply_settings(settings)
 
     # -- lifecycle --------------------------------------------------------------
     def close(self) -> None:

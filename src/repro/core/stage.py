@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
-from ..simcore.event import Event
+from ..simcore.event import Event, chain_result
 from ..telemetry import CounterSet
 from ..storage.posix import BadFileDescriptor, PosixLike
 from .optimization import MetricsSnapshot, OptimizationObject, TuningSettings
@@ -155,15 +155,11 @@ class PrismaStage(PosixLike):
         else:
             inner = self._backend_pread(entry.path, length, entry.offset)
 
-        def advance(ev: Event) -> None:
-            if ev.ok:
-                entry.offset += ev._value
-                done.succeed(ev._value)
-            else:
-                done.fail(ev.exception)
+        def advance(nbytes: int) -> int:
+            entry.offset += nbytes
+            return nbytes
 
-        inner.add_callback(advance)
-        return done
+        return chain_result(inner, done, advance)
 
     def read_whole(self, path: str) -> Event:
         self.counters.add("reads")
@@ -174,9 +170,7 @@ class PrismaStage(PosixLike):
         """Whole-file service, clamped to ``length`` for POSIX fidelity."""
         done = Event(self.sim, name=f"{self.name}.pread")
         inner = self._serve_whole(path)
-        inner.add_callback(
-            lambda ev: done.succeed(min(ev._value, length)) if ev.ok else done.fail(ev.exception)
-        )
+        chain_result(inner, done, lambda nbytes: min(nbytes, length))
         self.counters.add("reads")
         return done
 
@@ -186,15 +180,9 @@ class PrismaStage(PosixLike):
         done = Event(self.sim, name=f"{self.name}.bpread")
         inner = self.backend.pread(bfd, length, offset)
 
-        def finish(ev: Event) -> None:
-            self.backend.close(bfd)
-            if ev.ok:
-                done.succeed(ev._value)
-            else:
-                done.fail(ev.exception)
-
-        inner.add_callback(finish)
-        return done
+        # Callbacks run in registration order: close before forwarding.
+        inner.add_callback(lambda ev: self.backend.close(bfd))
+        return chain_result(inner, done)
 
     # -- control interface ----------------------------------------------------------
     def control_snapshot(self) -> List[MetricsSnapshot]:

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 import numpy as np
 
 from ..core import Controller, ParallelPrefetcher, PrismaAutotunePolicy, PrismaStage
+from ..core.control import ControlChannel
 from ..core.integrations.tf_binding import PrismaTensorFlowPipeline
 from ..dataset.catalog import DatasetCatalog
 from ..dataset.shuffle import EpochShuffler
@@ -165,7 +166,14 @@ class DistributedTrainingJob:
                     sim, shared_posix, [prefetcher], name=f"{name}.n{node}.stage"
                 )
                 assert self.controller is not None
-                self.controller.register(stage, PrismaAutotunePolicy())
+                # One logically centralized controller, one named channel
+                # per node — remote-latency tuning and per-node fault
+                # injection both key off the channel name.
+                self.controller.register(
+                    stage,
+                    PrismaAutotunePolicy(),
+                    channel=ControlChannel(sim, name=f"{name}.n{node}.ctl.ch"),
+                )
                 self.prefetchers.append(prefetcher)
                 source = PrismaTensorFlowPipeline(
                     sim, catalog, shard, self.local_batch, stage, model,

@@ -65,6 +65,7 @@ class TrialResult:
     final_buffer_capacity: int = 0
     control_cycles: int = 0
     control_enforcements: int = 0
+    control_rpc_failures: int = 0
 
 
 @dataclass
@@ -127,6 +128,7 @@ def _finish(
     if controller is not None:
         trial.control_cycles = controller.cycles
         trial.control_enforcements = controller.enforcements
+        trial.control_rpc_failures = controller.rpc_failures
         controller.stop()
     return trial
 

@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional
 
 from ...dataset.catalog import DatasetCatalog
 from ...dataset.shuffle import EpochShuffler, SequentialOrder, batches_from_order
-from ...simcore.event import Event
+from ...simcore.event import Event, chain_result
 from ...simcore.resources import Store
 from ...telemetry import TimeWeightedGauge
 from ..models import ModelProfile
@@ -145,17 +145,11 @@ class TorchDataLoader(DataSource):
                 return len(batch)
 
             proc = self.sim.process(load_batch(), name=f"{self.name}.load{seq}")
-            proc.add_callback(
-                lambda p: done.succeed(p._value) if p.ok else done.fail(p.exception)
-            )
-            return done
+            return chain_result(proc, done)
 
         # In-order consumption: batch `seq` comes from worker `seq % W`.
         inner = self._worker_out[seq % self.num_workers].get()
-        inner.add_callback(
-            lambda ev: done.succeed(ev._value) if ev.ok else done.fail(ev.exception)
-        )
-        return done
+        return chain_result(inner, done)
 
     def end_epoch(self) -> None:
         self._batches = None

@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, List, Optional
 
 from ...dataset.catalog import DatasetCatalog
 from ...dataset.shuffle import EpochShuffler, SequentialOrder
-from ...simcore.event import Event
+from ...simcore.event import Event, chain_result
 from ...simcore.resources import Store
 from ...telemetry import TimeWeightedGauge
 from ..models import ModelProfile
@@ -197,17 +197,7 @@ class TFDataPipeline(DataSource):
                 self._batch_store.set_capacity(self._batch_capacity)
         done = Event(self.sim, name=f"{self.name}.next")
         inner = self._batch_store.get()
-
-        def deliver(ev: Event) -> None:
-            if not ev.ok:
-                done.fail(ev.exception)
-            elif ev._value is _END:
-                done.succeed(None)
-            else:
-                done.succeed(ev._value)
-
-        inner.add_callback(deliver)
-        return done
+        return chain_result(inner, done, lambda v: None if v is _END else v)
 
     def end_epoch(self) -> None:
         self._raw_store = None

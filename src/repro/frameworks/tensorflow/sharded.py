@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING, List, Optional
 
 from ...dataset.formats import ShardedDataset
 from ...dataset.shuffle import EpochShuffler, SequentialOrder
-from ...simcore.event import Event
+from ...simcore.event import Event, chain_result
 from ...simcore.resources import Store
 from ...telemetry import TimeWeightedGauge
 from ..models import ModelProfile
@@ -166,12 +166,7 @@ class ShardedTFDataPipeline(DataSource):
         assert self._batch_store is not None, "begin_epoch() not called"
         done = Event(self.sim, name=f"{self.name}.next")
         inner = self._batch_store.get()
-        inner.add_callback(
-            lambda ev: done.succeed(None if ev._value is _END else ev._value)
-            if ev.ok
-            else done.fail(ev.exception)
-        )
-        return done
+        return chain_result(inner, done, lambda v: None if v is _END else v)
 
     def end_epoch(self) -> None:
         self._shard_order = None

@@ -20,7 +20,7 @@ from ..core import (
     PrismaAutotunePolicy,
     PrismaStage,
 )
-from ..core.control.controller import GlobalPolicy
+from ..core.control import ControlChannel, GlobalPolicy
 from ..dataset.catalog import DatasetCatalog
 from ..dataset.shuffle import EpochShuffler
 from ..frameworks.models import GpuEnsemble, ModelProfile
@@ -142,15 +142,19 @@ class SharedStorageCluster:
             stage = PrismaStage(
                 self.sim, self.shared_posix, [prefetcher], name=f"job{index}.stage"
             )
+            # Either way the stage attaches through the same kernel
+            # registration surface, over a per-job named channel (so
+            # fault injection and telemetry can single out one tenant).
+            channel = ControlChannel(self.sim, name=f"job{index}.ctl.ch")
             if self.coordination == "independent":
                 ctl = Controller(
                     self.sim, period=self.control_period, name=f"job{index}.ctl"
                 )
-                ctl.register(stage, PrismaAutotunePolicy())
+                ctl.register(stage, PrismaAutotunePolicy(), channel=channel)
                 self._controllers.append(ctl)
             else:
                 assert self._global_controller is not None
-                self._global_controller.register(stage)
+                self._global_controller.register(stage, channel=channel)
             train_src = PrismaTensorFlowPipeline(
                 self.sim, catalog, tr_sh, config.global_batch, stage, model,
                 name=f"job{index}.train",

@@ -1,8 +1,11 @@
 """Cluster-wide control policies (the paper's §VII research directions).
 
-These are :class:`~repro.core.control.controller.GlobalPolicy`
-implementations — control logic that *requires* the SDS architecture,
-because it decides over every tenant's data plane at once:
+These are :class:`~repro.core.control.kernel.GlobalPolicy` implementations —
+control logic that *requires* the SDS architecture, because it decides over
+every tenant's data plane at once.  They are execution-agnostic: the same
+policy objects drive simulated clusters here and real
+:class:`~repro.core.live.LivePrefetcher` pools under a
+:class:`~repro.core.live.LiveController` (see ``repro live-demo``):
 
 * :class:`FairShareGlobalPolicy` — divides a cluster-wide producer-thread
   budget among tenants; starving tenants receive the shares idle tenants
@@ -18,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Sequence
 
-from ..core.control.controller import GlobalPolicy
+from ..core.control.kernel import GlobalPolicy
 from ..core.control.monitor import MetricsHistory
 from ..core.optimization import TuningSettings
 

@@ -123,6 +123,27 @@ class Event:
         return f"<{type(self).__name__}{label} {state} at t={self.sim.now:.6g}>"
 
 
+def chain_result(
+    inner: Event, done: Event, transform: Optional[Callable[[Any], Any]] = None
+) -> Event:
+    """Forward ``inner``'s outcome to ``done`` when it settles.
+
+    The canonical glue between an internal event and a caller-facing one:
+    success forwards the value (optionally mapped through ``transform``),
+    failure forwards the exception.  Returns ``done`` so call sites can
+    build and forward in one expression.
+    """
+
+    def _settle(ev: Event) -> None:
+        if ev.ok:
+            done.succeed(ev.value if transform is None else transform(ev.value))
+        else:
+            done.fail(ev.exception)
+
+    inner.add_callback(_settle)
+    return done
+
+
 class Timeout(Event):
     """An event that triggers automatically after ``delay`` sim-time units.
 

@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from ..simcore.event import Event
+from ..simcore.event import Event, chain_result
 from ..simcore.resources import Resource
 from ..telemetry import CounterSet
 from .fluid import FairShareChannel, saturating_capacity
@@ -307,8 +307,7 @@ class BlockDevice:
             return lat + duration
 
         proc = self.sim.process(io_process(), name=f"io:{self.name}")
-        proc.add_callback(lambda p: done.succeed(p._value) if p.ok else done.fail(p.exception))
-        return done
+        return chain_result(proc, done)
 
     # -- public API -------------------------------------------------------------
     def read(self, nbytes: float, weight: float = 1.0) -> Event:

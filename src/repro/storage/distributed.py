@@ -24,7 +24,7 @@ from __future__ import annotations
 import hashlib
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
-from ..simcore.event import Event
+from ..simcore.event import Event, chain_result
 from ..telemetry import CounterSet
 from .cache import PageCache
 from .device import BlockDevice, DeviceProfile, GiB, intel_p4600
@@ -156,10 +156,7 @@ class DistributedFilesystem:
             return nbytes
 
         proc = self.sim.process(read_process(), name=f"pfsread:{path}")
-        proc.add_callback(
-            lambda p: done.succeed(p._value) if p.ok else done.fail(p.exception)
-        )
-        return done
+        return chain_result(proc, done)
 
     def read_file(self, path: str) -> Event:
         return self.read(path, 0, None)

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
 
 from ..simcore.errors import SimulationError
-from ..simcore.event import Event
+from ..simcore.event import Event, chain_result
 from .cache import PageCache
 from .device import BlockDevice
 
@@ -197,10 +197,7 @@ class Filesystem:
             return nbytes
 
         proc = self.sim.process(read_process(), name=f"fsread:{path}")
-        proc.add_callback(
-            lambda p: done.succeed(p._value) if p.ok else done.fail(p.exception)
-        )
-        return done
+        return chain_result(proc, done)
 
     def read_file(self, path: str) -> Event:
         """Whole-file read (the DL sample-loading operation)."""
@@ -223,10 +220,7 @@ class Filesystem:
             return nbytes
 
         proc = self.sim.process(write_process(), name=f"fswrite:{path}")
-        proc.add_callback(
-            lambda p: done.succeed(p._value) if p.ok else done.fail(p.exception)
-        )
-        return done
+        return chain_result(proc, done)
 
     def __repr__(self) -> str:
         return f"<Filesystem {self.name!r} files={len(self._files)}>"

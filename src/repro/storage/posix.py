@@ -14,7 +14,7 @@ import abc
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict
 
-from ..simcore.event import Event
+from ..simcore.event import Event, chain_result
 from .filesystem import Filesystem, StorageError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -105,15 +105,11 @@ class PosixLayer(PosixLike):
         done = Event(self.sim, name=f"read:{entry.path}")
         inner = self.fs.read(entry.path, entry.offset, length)
 
-        def on_done(ev: Event) -> None:
-            if ev.ok:
-                entry.offset += ev._value
-                done.succeed(ev._value)
-            else:
-                done.fail(ev.exception)
+        def advance(nbytes: int) -> int:
+            entry.offset += nbytes
+            return nbytes
 
-        inner.add_callback(on_done)
-        return done
+        return chain_result(inner, done, advance)
 
     def read_whole(self, path: str) -> Event:
         """Convenience: open + read-to-EOF + close as one event."""
@@ -121,13 +117,6 @@ class PosixLayer(PosixLike):
         size = self.fstat_size(fd)
         done = Event(self.sim, name=f"readwhole:{path}")
         inner = self.pread(fd, size, 0)
-
-        def on_done(ev: Event) -> None:
-            self.close(fd)
-            if ev.ok:
-                done.succeed(ev._value)
-            else:
-                done.fail(ev.exception)
-
-        inner.add_callback(on_done)
-        return done
+        # Callbacks run in registration order: close before forwarding.
+        inner.add_callback(lambda ev: self.close(fd))
+        return chain_result(inner, done)

@@ -46,7 +46,7 @@ class TracingPosix(PosixLike):
                     TraceRecord(
                         issue_time=issued,
                         path=path,
-                        nbytes=int(ev._value),
+                        nbytes=int(ev.value),
                         latency=self.sim.now - issued,
                         source=self.source_label,
                     )

@@ -49,3 +49,32 @@ def test_figure2_quick_single_cell(capsys):
     assert "Figure 2" in out
     assert "tf-prisma" in out
     assert "vs-baseline" in out
+
+
+def test_live_demo_global_controller(capsys, tmp_path):
+    # Real threads + real files under one global live controller.
+    out_file = tmp_path / "live.json"
+    trace_file = tmp_path / "live_trace.json"
+    argv = [
+        "live-demo", "--files", "12", "--quiet",
+        "--out", str(out_file), "--trace", str(trace_file),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "global controller" in out
+    assert "rpc failures" in out
+
+    import json
+
+    summary = json.loads(out_file.read_text())
+    assert len(summary["jobs"]) == 2
+    assert all(job["files"] == 12 for job in summary["jobs"])
+    assert summary["control"]["cycles"] >= 1
+
+    from repro.telemetry import validate_chrome_trace
+
+    assert validate_chrome_trace(json.loads(trace_file.read_text())) is None
+
+
+def test_live_demo_rejects_seed(capsys):
+    assert main(["live-demo", "--seed", "7"]) == 2

@@ -1,0 +1,343 @@
+"""Tests for the shared control kernel (sim/live parity, transports, live
+global policies, degraded mode, failure accounting)."""
+
+import pytest
+
+from repro.core.control import (
+    ControlCycle,
+    Controller,
+    DEFAULT_MAX_ENTRIES,
+    DegradedModePolicy,
+    DirectTransport,
+    MetricsHistory,
+    PrismaAutotunePolicy,
+    RetryPolicy,
+    RpcApplicationError,
+    RpcRetriesExhausted,
+    RpcTransportError,
+    StaticPolicy,
+)
+from repro.core.live import LiveController, LivePrefetcher
+from repro.core.optimization import MetricsSnapshot, TuningSettings
+from repro.multitenant.fairness import FairShareGlobalPolicy
+from repro.simcore.kernel import Simulator
+from repro.telemetry import Telemetry, chrome_trace_events, validate_chrome_trace
+
+
+class ScriptedPort:
+    """A StagePort replaying a fixed snapshot sequence, recording applies."""
+
+    def __init__(self, name, snapshots):
+        self.name = name
+        self._script = list(snapshots)
+        self._calls = 0
+        self.applied = []
+
+    def control_snapshot(self):
+        snap = self._script[min(self._calls, len(self._script) - 1)]
+        self._calls += 1
+        return [snap]
+
+    def control_apply(self, settings):
+        self.applied.append(settings)
+
+
+def snap(i, *, waits=0, hits=100, level=4, capacity=16, producers=2,
+         bytes_fetched=0, queue=500, files=0, errors=0):
+    return MetricsSnapshot(
+        time=float(i),
+        requests=hits + waits,
+        hits=hits,
+        waits=waits,
+        buffer_level=level,
+        buffer_capacity=capacity,
+        producers_allocated=producers,
+        producers_active=producers,
+        bytes_fetched=bytes_fetched,
+        queue_remaining=queue,
+        files_fetched=files,
+        read_errors=errors,
+    )
+
+
+def starving_script(n=16):
+    """Cumulative counters showing sustained starvation and rising throughput:
+    drives PrismaAutotunePolicy through its add-producer / measure states."""
+    script = []
+    for i in range(1, n + 1):
+        script.append(
+            snap(
+                i,
+                hits=50 * i,
+                waits=50 * i,  # 50% of requests stall every period
+                level=2,
+                producers=2,
+                bytes_fetched=10_000_000 * i,
+            )
+        )
+    return script
+
+
+# ---------------------------------------------------------------- parity
+def test_sim_and_live_drivers_make_identical_decisions():
+    """The same snapshot sequence through both drivers yields the same
+    policy decisions — one kernel, two clocks/transports."""
+    script = starving_script()
+
+    # Simulated driver: kernel process + channel transport.
+    sim = Simulator()
+    sim_port = ScriptedPort("stage", script)
+    sim_ctl = Controller(sim, period=1.0)
+    sim_ctl.register(sim_port, PrismaAutotunePolicy())
+    sim_ctl.start()
+    sim.run(until=len(script) + 0.5)
+    sim_ctl.stop()
+
+    # Live driver: inline cycles + direct transport.
+    live_port = ScriptedPort("stage", script)
+    live_ctl = LiveController()
+    live_ctl.register(live_port, PrismaAutotunePolicy())
+    for _ in range(len(script)):
+        live_ctl.run_cycle()
+
+    assert sim_ctl.cycles == live_ctl.cycles == len(script)
+    assert sim_port.applied, "the script should provoke at least one decision"
+    assert sim_port.applied == live_port.applied
+    assert (
+        sim_ctl.history_for("stage").snapshots()
+        == live_ctl.history_for("stage").snapshots()
+    )
+
+
+def test_shared_kernel_is_the_only_cycle_implementation():
+    """Both drivers expose the same ControlCycle kernel object type."""
+    sim = Simulator()
+    sim_ctl = Controller(sim, period=1.0)
+    live_ctl = LiveController()
+    assert type(sim_ctl.kernel) is ControlCycle
+    assert type(live_ctl.kernel) is ControlCycle
+
+
+# ---------------------------------------------------------------- live global
+def test_live_global_policy_over_two_prefetchers(tmp_path):
+    """A GlobalPolicy coordinates two real prefetcher pools on real threads,
+    with telemetry spans/instants recorded on the wall-clock frame."""
+    datasets = []
+    for job in range(2):
+        paths = []
+        for i in range(40):
+            p = tmp_path / f"job{job}_{i:03d}.bin"
+            p.write_bytes(b"x" * 2048)
+            paths.append(str(p))
+        datasets.append(paths)
+
+    tel = Telemetry()
+    policy = FairShareGlobalPolicy(total_producer_budget=6, per_job_cap=4)
+    ctl = LiveController(global_policy=policy, telemetry=tel)
+    # A small buffer keeps the producers blocked on backpressure, so the
+    # epoch queue is still non-empty when the control cycle runs.
+    pfs = [
+        LivePrefetcher(producers=1, buffer_capacity=4, max_producers=8, name=f"job{j}.pf")
+        for j in range(2)
+    ]
+    try:
+        for pf in pfs:
+            ctl.register(pf)
+        for pf, paths in zip(pfs, datasets):
+            pf.load_epoch(paths)
+        # Generate consumer traffic so demand estimates are non-zero, but
+        # leave the queue non-empty so the policy still has work to divide.
+        for pf, paths in zip(pfs, datasets):
+            for path in paths[:5]:
+                pf.read(path, timeout=10.0)
+        ctl.run_cycle()
+
+        assert ctl.cycles == 1
+        assert ctl.enforcements >= 1
+        # Fair share of a 6-thread budget across two active tenants: 3 each.
+        assert pfs[0].target_producers == 3
+        assert pfs[1].target_producers == 3
+        for j in range(2):
+            assert len(ctl.history_for(f"job{j}.pf")) == 1
+
+        # Telemetry landed on the wall-clock frame: monitor + enforce spans
+        # and decision instants, exportable as a valid Chrome trace.
+        monitor_spans = [s for s in tel.spans("control") if s.name == "control.monitor"]
+        assert len(monitor_spans) == 2
+        decisions = [s for s in tel.instants("control") if s.name == "control.decision"]
+        assert len(decisions) == 2
+        assert validate_chrome_trace({"traceEvents": chrome_trace_events(tel)}) is None
+    finally:
+        for pf in pfs:
+            pf.close()
+
+
+# ---------------------------------------------------------------- degraded mode
+def test_live_degraded_mode_engage_and_recover():
+    """Fault bursts engage degraded mode through the live driver; clean
+    periods recover it — with the transitions emitted as instants."""
+    script = [
+        snap(1, producers=4, capacity=64, files=10, errors=0),
+        snap(2, producers=4, capacity=64, files=12, errors=8),  # 80% errors
+        snap(3, producers=4, capacity=64, files=20, errors=8),
+        snap(4, producers=4, capacity=64, files=30, errors=8),
+        snap(5, producers=4, capacity=64, files=40, errors=8),
+    ]
+    port = ScriptedPort("stage", script)
+    policy = DegradedModePolicy(StaticPolicy(4, 64))
+    tel = Telemetry()
+    ctl = LiveController(telemetry=tel)
+    ctl.register(port, policy)
+
+    ctl.run_cycle()
+    assert not policy.engaged
+    ctl.run_cycle()
+    assert policy.engaged
+    for _ in range(3):
+        ctl.run_cycle()
+    assert not policy.engaged
+
+    # static-initial, then shrink on engage, then restore on recovery
+    assert port.applied == [
+        TuningSettings(producers=4, buffer_capacity=64),
+        TuningSettings(producers=2, buffer_capacity=32),
+        TuningSettings(producers=4, buffer_capacity=64),
+    ]
+    names = [s.name for s in tel.instants("control")]
+    assert "control.degraded_engage" in names
+    assert "control.degraded_recover" in names
+    assert names.index("control.degraded_engage") < names.index(
+        "control.degraded_recover"
+    )
+
+
+# ---------------------------------------------------------------- transports
+class FlakyPort:
+    """Fails ``snapshot_failures``/``apply_failures`` times, then works."""
+
+    def __init__(self, snapshot_failures=0, apply_failures=0):
+        self.name = "flaky"
+        self.snapshot_failures = snapshot_failures
+        self.apply_failures = apply_failures
+        self.applied = []
+
+    def control_snapshot(self):
+        if self.snapshot_failures > 0:
+            self.snapshot_failures -= 1
+            raise RpcTransportError("snapshot lost")
+        return [snap(1, waits=0, queue=0)]
+
+    def control_apply(self, settings):
+        if self.apply_failures > 0:
+            self.apply_failures -= 1
+            raise RpcTransportError("apply lost")
+        self.applied.append(settings)
+
+
+def fast_retry(attempts):
+    return RetryPolicy(max_attempts=attempts, base_delay=0.0, budget=10.0)
+
+
+def test_direct_transport_retries_transient_failures():
+    port = FlakyPort(snapshot_failures=1)
+    ctl = LiveController(retry_policy=fast_retry(3))
+    ctl.register(port, StaticPolicy(2, 16))
+    ctl.run_cycle()
+    # The lost snapshot was retried, not dropped: history filled, no failure.
+    assert ctl.rpc_failures == 0
+    assert len(ctl.history_for("flaky")) == 1
+    reg = ctl.kernel.registrations()[0]
+    assert reg.transport.retries == 1
+
+
+def test_enforce_failure_is_accounted_and_skipped():
+    port = FlakyPort(apply_failures=10)  # outlasts every retry schedule
+    ctl = LiveController(retry_policy=fast_retry(2))
+    ctl.register(port, StaticPolicy(3, 32))
+    ctl.run_cycle()
+    # Monitoring succeeded, enforcement was abandoned: accounted, not fatal.
+    assert ctl.cycles == 1
+    assert ctl.enforcements == 0
+    assert ctl.rpc_failures == 1
+    assert port.applied == []
+
+
+def test_monitor_failure_skips_stage_for_the_cycle():
+    port = FlakyPort(snapshot_failures=10)
+    ctl = LiveController(retry_policy=fast_retry(2))
+    ctl.register(port, StaticPolicy(2, 16))
+    ctl.run_cycle()
+    assert ctl.rpc_failures == 1
+    assert len(ctl.history_for("flaky")) == 0
+
+
+def test_application_errors_are_fatal_not_retried():
+    class BuggyPort:
+        name = "buggy"
+        calls = 0
+
+        def control_snapshot(self):
+            type(self).calls += 1
+            raise ValueError("deterministic far-side bug")
+
+        def control_apply(self, settings):  # pragma: no cover - never reached
+            raise AssertionError
+
+    ctl = LiveController(retry_policy=fast_retry(4))
+    ctl.register(BuggyPort(), StaticPolicy(2, 16))
+    with pytest.raises(RpcApplicationError):
+        ctl.run_cycle()
+    assert BuggyPort.calls == 1  # replaying a deterministic bug is pointless
+
+
+def test_direct_transport_exhaustion_chains_last_error():
+    transport = DirectTransport(retry_policy=fast_retry(2))
+
+    def always_down():
+        raise RpcTransportError("down")
+
+    with pytest.raises(RpcRetriesExhausted) as excinfo:
+        transport.invoke(always_down)
+    assert isinstance(excinfo.value.__cause__, RpcTransportError)
+    assert transport.retries == 1
+
+
+# ---------------------------------------------------------------- histories
+def test_metrics_history_bounded_by_default():
+    history = MetricsHistory("stage")
+    assert history.max_entries == DEFAULT_MAX_ENTRIES
+
+
+def test_metrics_history_rejects_nonpositive_bound():
+    with pytest.raises(ValueError):
+        MetricsHistory("stage", max_entries=0)
+
+
+def test_live_controller_history_is_bounded():
+    port = ScriptedPort("stage", [snap(1)])
+    ctl = LiveController()
+    history = ctl.register(port, StaticPolicy(2, 16))
+    assert history.max_entries == DEFAULT_MAX_ENTRIES
+    assert ctl.history_for("stage") is history
+
+
+def test_history_for_unknown_stage_raises():
+    sim = Simulator()
+    ctl = Controller(sim, period=1.0)
+    with pytest.raises(KeyError):
+        ctl.history_for("nope")
+    live = LiveController()
+    with pytest.raises(KeyError):
+        live.history_for("nope")
+
+
+# ---------------------------------------------------------------- heartbeat
+def test_live_heartbeat_advances_with_cycles():
+    ctl = LiveController()
+    ctl.register(ScriptedPort("stage", [snap(1)]), StaticPolicy(2, 16))
+    assert ctl.last_cycle_time == float("-inf")
+    ctl.run_cycle()
+    assert ctl.last_cycle_time >= 0.0
+    first = ctl.last_cycle_time
+    ctl.run_cycle()
+    assert ctl.last_cycle_time >= first
