@@ -1,0 +1,134 @@
+"""Clairvoyant vs reactive prefetching: the lookahead must actually pay.
+
+ROADMAP item 1's acceptance gate: on a cold-cache multi-epoch run over the
+RAM buffer → fast tier → backing store hierarchy, the clairvoyant stack
+(Belady tiering + cross-epoch lookahead) must beat the reactive baseline
+on BOTH simulated throughput and fast-tier hit rate — and the whole
+comparison must be byte-deterministic under a fixed seed (the report is
+computed twice and compared for equality).
+
+The measured quantities are *simulated* (files per simulated second), so
+the gate is immune to host wall-clock noise: a regression here means the
+policy got worse, not the machine.
+
+Results land in ``BENCH_prefetch.json`` at the repo root.
+
+Run directly:  PYTHONPATH=src python benchmarks/bench_prefetch_lookahead.py
+Or via pytest: pytest benchmarks/bench_prefetch_lookahead.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments import run_clairvoyant_comparison
+
+SEED = 0
+N_FILES = 200
+FILE_SIZE = 96 * 1024
+EPOCHS = 3  # cold-cache multi-epoch: >= 3 per the acceptance criteria
+LOOKAHEAD_EPOCHS = 2
+
+#: Regression ceilings: clairvoyant must keep at least this much of its
+#: measured advantage (values below 1.0 would mean "clairvoyant loses").
+MIN_THROUGHPUT_RATIO = 1.0
+MIN_HIT_RATE_RATIO = 1.0
+
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_prefetch.json"
+
+
+def run_lookahead() -> dict:
+    kwargs = dict(
+        seed=SEED, n_files=N_FILES, file_size=FILE_SIZE,
+        epochs=EPOCHS, lookahead_epochs=LOOKAHEAD_EPOCHS,
+    )
+    report = run_clairvoyant_comparison(**kwargs)
+    repeat = run_clairvoyant_comparison(**kwargs)
+    deterministic = report.metrics_dict() == repeat.metrics_dict()
+    r, c = report.reactive, report.clairvoyant
+    hit_ratio = (
+        c.fast_tier_hit_rate / r.fast_tier_hit_rate
+        if r.fast_tier_hit_rate > 0
+        else float(c.fast_tier_hit_rate > 0)
+    )
+    return {
+        "benchmark": "prefetch_lookahead",
+        "description": (
+            "Cold-cache multi-epoch scan through RAM buffer -> fast tier -> "
+            "backing SSD: reactive (promote-on-Nth-access, LRU) vs "
+            "clairvoyant (Belady tiering + cross-epoch lookahead) over "
+            "identical seeded shuffles. Simulated-time metrics: immune to "
+            "host wall-clock noise."
+        ),
+        "workload": (
+            f"run_clairvoyant_comparison(seed={SEED}, n_files={N_FILES}, "
+            f"file_size={FILE_SIZE}, epochs={EPOCHS}, "
+            f"lookahead_epochs={LOOKAHEAD_EPOCHS})"
+        ),
+        "deterministic": deterministic,
+        "completed": r.completed and c.completed,
+        "throughput_ratio": report.speedup,
+        "hit_rate_ratio": hit_ratio,
+        "min_throughput_ratio": MIN_THROUGHPUT_RATIO,
+        "min_hit_rate_ratio": MIN_HIT_RATE_RATIO,
+        "report": report.metrics_dict(),
+    }
+
+
+def accept(report: dict) -> bool:
+    return (
+        report["deterministic"]
+        and report["completed"]
+        and report["throughput_ratio"] > report["min_throughput_ratio"]
+        and report["hit_rate_ratio"] > report["min_hit_rate_ratio"]
+    )
+
+
+def write_report(report: dict, path: Path = OUTPUT) -> None:
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+# ---------------------------------------------------------------- pytest entry
+def test_clairvoyant_beats_reactive(once):
+    report = once(run_lookahead)
+    write_report(report)
+    assert report["deterministic"], "same seed must give byte-identical reports"
+    assert report["completed"]
+    assert report["throughput_ratio"] > MIN_THROUGHPUT_RATIO
+    assert report["hit_rate_ratio"] > MIN_HIT_RATE_RATIO
+
+
+def main() -> int:
+    report = run_lookahead()
+    write_report(report)
+    inner = report["report"]
+    print(
+        "reactive:     %7.0f files/s, fast-tier hit rate %5.1f%%"
+        % (
+            inner["reactive"]["throughput"],
+            inner["reactive"]["fast_tier_hit_rate"] * 100,
+        )
+    )
+    print(
+        "clairvoyant:  %7.0f files/s, fast-tier hit rate %5.1f%%"
+        % (
+            inner["clairvoyant"]["throughput"],
+            inner["clairvoyant"]["fast_tier_hit_rate"] * 100,
+        )
+    )
+    print(
+        "ratios: throughput %.3fx, hit rate %.3fx, deterministic=%s"
+        % (report["throughput_ratio"], report["hit_rate_ratio"], report["deterministic"])
+    )
+    print(f"wrote {OUTPUT}")
+    ok = accept(report)
+    print(
+        "acceptance (deterministic AND throughput > %.2fx AND hit rate > %.2fx): %s"
+        % (MIN_THROUGHPUT_RATIO, MIN_HIT_RATE_RATIO, "PASS" if ok else "FAIL")
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

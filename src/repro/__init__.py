@@ -27,13 +27,17 @@ Quickstart::
 """
 
 from .core import (
+    ClairvoyantTieringObject,
     Controller,
     DegradedModePolicy,
+    LookaheadSchedule,
     ParallelPrefetcher,
     PrismaAutotunePolicy,
     PrismaConfig,
     PrismaStage,
     StaticPolicy,
+    TieringConfig,
+    TieringObject,
     build_prisma,
 )
 from .faults import FaultEvent, FaultInjector, FaultPlan
@@ -42,11 +46,13 @@ from .simcore import RandomStreams, Simulator
 __version__ = "1.0.0"
 
 __all__ = [
+    "ClairvoyantTieringObject",
     "Controller",
     "DegradedModePolicy",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    "LookaheadSchedule",
     "ParallelPrefetcher",
     "PrismaAutotunePolicy",
     "PrismaConfig",
@@ -54,6 +60,8 @@ __all__ = [
     "RandomStreams",
     "Simulator",
     "StaticPolicy",
+    "TieringConfig",
+    "TieringObject",
     "__version__",
     "build_prisma",
     "quick_demo",

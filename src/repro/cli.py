@@ -7,6 +7,7 @@ Usage::
     python -m repro figure4 [--quick] [--workers 0 2 4 8 16]
     python -m repro ablation {autotune,device,period}
     python -m repro faults-demo [--seed N] [--files N]
+    python -m repro clairvoyant [--files N] [--epochs N] [--lookahead N]
     python -m repro live-demo [--jobs N] [--files N] [--budget N]
     python -m repro trace --experiment figure2 --out trace.json
     python -m repro demo
@@ -233,6 +234,27 @@ def _cmd_faults_demo(args) -> int:
         _note(args, f"wrote {args.out}")
     print(format_fault_sweep(report))
     return 0 if report.completed else 1
+
+
+def _cmd_clairvoyant(args) -> int:
+    from .experiments.clairvoyant import format_clairvoyant, run_clairvoyant_comparison
+
+    telemetry = _telemetry_for(args)
+    report = run_clairvoyant_comparison(
+        seed=args.seed,
+        n_files=args.files,
+        epochs=args.epochs,
+        lookahead_epochs=args.lookahead,
+        telemetry=telemetry,
+    )
+    _finish_trace(telemetry, args)
+    if args.out:
+        from .experiments.export import dump_json
+
+        dump_json(report.metrics_dict(), args.out)
+        _note(args, f"wrote {args.out}")
+    print(format_clairvoyant(report))
+    return 0 if report.reactive.completed and report.clairvoyant.completed else 1
 
 
 def _cmd_live_demo(args) -> int:
@@ -464,6 +486,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pf.add_argument("--files", type=int, default=600)
     pf.set_defaults(func=_cmd_faults_demo)
+
+    pcv = sub.add_parser(
+        "clairvoyant", parents=[common],
+        help="reactive vs clairvoyant prefetching over the tier hierarchy",
+    )
+    pcv.add_argument("--files", type=int, default=200)
+    pcv.add_argument("--epochs", type=int, default=3)
+    pcv.add_argument(
+        "--lookahead", type=int, default=2,
+        help="epochs of cross-epoch prefetch for the clairvoyant run",
+    )
+    pcv.set_defaults(func=_cmd_clairvoyant)
 
     plive = sub.add_parser(
         "live-demo", parents=[common],

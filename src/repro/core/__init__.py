@@ -36,9 +36,10 @@ from .control import (
 from .filename_queue import FilenameQueue
 from .optimization import MetricsSnapshot, OptimizationObject, TuningSettings
 from .prefetcher import ParallelPrefetcher
+from .schedule import NEVER, LookaheadSchedule
 from .shared import SharedDatasetPrefetcher
 from .stage import PrismaStage
-from .tiering import TieringObject
+from .tiering import ClairvoyantTieringObject, TieringConfig, TieringObject
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simcore.kernel import Simulator
@@ -46,14 +47,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "AutotuneParams",
+    "ClairvoyantTieringObject",
     "ControlChannel",
     "ControlPolicy",
     "Controller",
     "DegradedModeParams",
     "DegradedModePolicy",
     "FilenameQueue",
+    "LookaheadSchedule",
     "MetricsHistory",
     "MetricsSnapshot",
+    "NEVER",
     "OptimizationObject",
     "ParallelPrefetcher",
     "PrefetchBuffer",
@@ -68,6 +72,7 @@ __all__ = [
     "SharedDatasetPrefetcher",
     "PrismaConfig",
     "StaticPolicy",
+    "TieringConfig",
     "TieringObject",
     "TuningSettings",
     "build_prisma",
@@ -96,6 +101,11 @@ class PrismaConfig:
     max_producers: int = 8
     #: component-name prefix (``<name>.stage``, ``<name>.prefetch``, …)
     name: str = "prisma"
+    #: epochs past the live one the prefetcher may fetch ahead (0 = off;
+    #: takes effect once a :class:`LookaheadSchedule` is installed)
+    lookahead_epochs: int = 0
+    #: optional node-local fast tier between the buffer and the backend
+    tiering: Optional[TieringConfig] = None
 
     def __post_init__(self) -> None:
         if self.control_period <= 0:
@@ -106,6 +116,18 @@ class PrismaConfig:
             raise ValueError("buffer_capacity must be >= 1")
         if self.max_producers < self.producers:
             raise ValueError("max_producers must be >= producers")
+        if isinstance(self.lookahead_epochs, bool) or not isinstance(
+            self.lookahead_epochs, int
+        ):
+            raise ValueError(
+                f"lookahead_epochs must be an int, got {self.lookahead_epochs!r}"
+            )
+        if self.lookahead_epochs < 0:
+            raise ValueError("lookahead_epochs must be >= 0")
+        if self.tiering is not None and not isinstance(self.tiering, TieringConfig):
+            raise ValueError(
+                f"tiering must be a TieringConfig, got {type(self.tiering).__name__}"
+            )
 
     def with_overrides(self, **overrides) -> "PrismaConfig":
         """A copy with the given fields replaced (sugar over ``replace``)."""
@@ -144,15 +166,52 @@ def build_prisma(
         config = PrismaConfig(**legacy)
     elif config is None:
         config = PrismaConfig()
+    tiering = None
+    prefetch_backend = backend
+    if config.tiering is not None:
+        from ..storage.device import PROFILES, BlockDevice
+        from ..storage.filesystem import Filesystem
+
+        tcfg = config.tiering
+        if tcfg.backing_capacity_bytes is None:
+            # No declared backing size: measure the backend we were handed.
+            fs = getattr(backend, "fs", None)
+            total = fs.total_bytes() if fs is not None else 0
+            if total > 0 and tcfg.fast_capacity_bytes >= total:
+                raise ValueError(
+                    f"fast tier ({tcfg.fast_capacity_bytes} B) holds the entire "
+                    f"backing store ({total} B); tiering would be a no-op — "
+                    "shrink fast_capacity_bytes or drop the tiering config"
+                )
+        fast_fs = Filesystem(
+            sim,
+            BlockDevice(sim, PROFILES[tcfg.fast_profile]()),
+            name=f"{config.name}.fast",
+        )
+        if tcfg.clairvoyant:
+            tiering = ClairvoyantTieringObject(
+                sim, backend, fast_fs, tcfg.fast_capacity_bytes,
+                name=f"{config.name}.tiering",
+            )
+        else:
+            tiering = TieringObject(
+                sim, backend, fast_fs, tcfg.fast_capacity_bytes,
+                promote_after=tcfg.promote_after, name=f"{config.name}.tiering",
+            )
+        # The hierarchy: RAM buffer (prefetcher) → fast tier → backing FS.
+        prefetch_backend = tiering
     prefetcher = ParallelPrefetcher(
         sim,
-        backend,
+        prefetch_backend,
         producers=config.producers,
         buffer_capacity=config.buffer_capacity,
         max_producers=config.max_producers,
+        lookahead_epochs=config.lookahead_epochs,
         name=f"{config.name}.prefetch",
     )
-    stage = PrismaStage(sim, backend, [prefetcher], name=f"{config.name}.stage")
+    optimizations = [prefetcher] if tiering is None else [prefetcher, tiering]
+    stage = PrismaStage(sim, backend, optimizations, name=f"{config.name}.stage")
+    stage.tiering = tiering
     controller = Controller(
         sim, period=config.control_period, name=f"{config.name}.controller"
     )

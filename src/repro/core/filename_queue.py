@@ -27,13 +27,18 @@ class FilenameQueue:
         self.epochs_loaded = 0
         self.total_enqueued = 0
 
-    def load(self, paths: Iterable[str]) -> None:
+    def load(self, paths: Iterable[str], prestaged: Iterable[str] = ()) -> None:
         """Install a new epoch's shuffled filenames list.
 
         Loading replaces the *coverage set* (which paths the stage may serve
         from the buffer) while appending to the pending work — leftover
         entries from a previous epoch would indicate a protocol violation,
         so they are rejected loudly rather than silently merged.
+
+        ``prestaged`` names paths a clairvoyant prefetcher already staged
+        across the epoch boundary: they stay *covered* (the buffer serves
+        them) but are not enqueued again — re-fetching them would violate
+        the buffer's staged-exactly-once-per-epoch contract.
         """
         if self._queue:
             raise ValueError(
@@ -44,10 +49,17 @@ class FilenameQueue:
         seen = set(paths)
         if len(seen) != len(paths):
             raise ValueError(f"{self.name}: duplicate paths in epoch list")
-        self._queue.extend(paths)
+        prestaged = set(prestaged)
+        if not prestaged <= seen:
+            raise ValueError(
+                f"{self.name}: prestaged paths not in the epoch list: "
+                f"{sorted(prestaged - seen)[:3]}"
+            )
+        pending = [p for p in paths if p not in prestaged]
+        self._queue.extend(pending)
         self._covered = seen
         self.epochs_loaded += 1
-        self.total_enqueued += len(paths)
+        self.total_enqueued += len(pending)
 
     def next(self) -> Optional[str]:
         """Pop the next path to prefetch, or None if the epoch is drained."""

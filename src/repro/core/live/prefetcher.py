@@ -21,6 +21,8 @@ from collections import deque
 from typing import Deque, Iterable, List, Optional, Set
 
 from ..optimization import MetricsSnapshot, TuningSettings
+from ..prefetcher import _validate_lookahead
+from ..schedule import LookaheadSchedule
 from .buffer import BufferClosed, LiveBuffer
 
 
@@ -39,6 +41,7 @@ class LivePrefetcher:
         buffer_capacity: int = 64,
         max_producers: int = 16,
         read_chunk: int = 1 << 20,
+        lookahead_epochs: int = 0,
         name: str = "live.prefetch",
     ) -> None:
         if producers < 1:
@@ -63,6 +66,16 @@ class LivePrefetcher:
         self.bytes_fetched = 0
         self.files_fetched = 0
         self.read_errors = 0
+        # clairvoyant lookahead — same API as the simulated prefetcher
+        self.lookahead_epochs = _validate_lookahead(lookahead_epochs)
+        self._schedule: Optional[LookaheadSchedule] = None
+        self._staged_ahead: Set[str] = set()
+        self.lookahead_fetches = 0
+
+    def install_schedule(self, schedule: LookaheadSchedule) -> None:
+        """Install the clairvoyant oracle (shared with the simulated plane)."""
+        with self._lock:
+            self._schedule = schedule
 
     # -- epoch lifecycle ------------------------------------------------------------
     def load_epoch(self, paths: Iterable[str]) -> None:
@@ -75,8 +88,17 @@ class LivePrefetcher:
                 raise ValueError(
                     f"{len(self._queue)} paths still pending from the previous epoch"
                 )
-            self._queue.extend(paths)
+            if self._schedule is not None:
+                if self._schedule.epochs_started >= self._schedule.n_epochs:
+                    self._schedule = None  # horizon exhausted: go reactive
+                else:
+                    self._schedule.start_epoch(paths)
+            # Paths fetched across the epoch boundary stay covered but are
+            # not re-enqueued (they are already staged in the buffer).
+            prestaged = self._staged_ahead.intersection(paths)
+            self._queue.extend(p for p in paths if p not in prestaged)
             self._covered = set(paths)
+            self._staged_ahead.difference_update(prestaged)
         self._spawn_up_to_target()
 
     def covers(self, path: str) -> bool:
@@ -106,12 +128,42 @@ class LivePrefetcher:
             self._target = t
         self._spawn_up_to_target()
 
+    def _peek_lookahead_locked(self) -> Optional[str]:
+        """The claimable cross-epoch path, if any; caller holds ``_lock``.
+
+        Same protocol as the simulated plane: stop (rather than skip) when
+        the next scheduled path is still buffered for the live epoch, and
+        respect buffer slack.
+        """
+        if self._schedule is None or self.lookahead_epochs < 1:
+            return None
+        if self.buffer.level >= self.buffer.capacity:
+            return None
+        path = self._schedule.peek_ahead(self.lookahead_epochs)
+        if path is None or self.buffer.contains(path):
+            return None
+        return path
+
+    def _lookahead_ready_locked(self) -> bool:
+        return self._peek_lookahead_locked() is not None
+
+    def _claim_lookahead_locked(self) -> Optional[str]:
+        """Claim the next cross-epoch path (advances the fetch clock)."""
+        path = self._peek_lookahead_locked()
+        if path is None:
+            return None
+        assert self._schedule is not None
+        self._schedule.mark_fetched(path)
+        self._staged_ahead.add(path)
+        self.lookahead_fetches += 1
+        return path
+
     def _spawn_up_to_target(self) -> None:
         to_start: List[threading.Thread] = []
         with self._lock:
             while (
                 self._live < self._target
-                and self._queue
+                and (self._queue or self._lookahead_ready_locked())
                 and not self._closed
             ):
                 thread = threading.Thread(
@@ -136,10 +188,19 @@ class LivePrefetcher:
         # producers and a consumer blocked forever.
         while True:
             with self._lock:
-                if self._closed or self._live > self._target or not self._queue:
+                if self._closed or self._live > self._target:
                     self._retire()
                     return
-                path = self._queue.popleft()
+                if self._queue:
+                    path = self._queue.popleft()
+                    if self._schedule is not None:
+                        self._schedule.mark_fetched(path)
+                else:
+                    claimed = self._claim_lookahead_locked()
+                    if claimed is None:
+                        self._retire()
+                        return
+                    path = claimed
             try:
                 payload: object = self._read_file(path)
             except OSError as exc:
@@ -179,6 +240,10 @@ class LivePrefetcher:
         """
         if self.covers(path):
             data = self.buffer.take(path, timeout=timeout)
+            # The take evicted a sample, opening slack: resume cross-epoch
+            # fetching if producers retired against a full buffer.
+            if self.lookahead_epochs > 0:
+                self._spawn_up_to_target()
             if isinstance(data, Exception):
                 raise data  # a producer's read failure, delivered here
             return data
@@ -192,6 +257,7 @@ class LivePrefetcher:
             read_errors = self.read_errors
             live = self._live
             remaining = len(self._queue)
+            lookahead = self.lookahead_fetches
         return MetricsSnapshot(
             time=time.monotonic(),
             requests=self.buffer.hits + self.buffer.waits,
@@ -205,6 +271,7 @@ class LivePrefetcher:
             queue_remaining=remaining,
             files_fetched=files_fetched,
             read_errors=read_errors,
+            lookahead_fetches=lookahead,
         )
 
     def apply_settings(self, settings: TuningSettings) -> None:
@@ -212,6 +279,11 @@ class LivePrefetcher:
             self.set_producers(settings.producers)
         if settings.buffer_capacity is not None:
             self.buffer.set_capacity(settings.buffer_capacity)
+        lookahead = settings.extra.get("lookahead_epochs")
+        if lookahead is not None:
+            with self._lock:
+                self.lookahead_epochs = _validate_lookahead(lookahead)
+            self._spawn_up_to_target()
 
     # The kernel's StagePort surface: same shape as the simulated
     # PrismaStage, so one ControlCycle drives either data plane.

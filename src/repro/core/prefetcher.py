@@ -11,6 +11,16 @@ or spawn between files) and ``N`` (buffer capacity retargets without
 eviction).  The number of *consumers* is deliberately unknown to the
 prefetcher ("its number is oblivious to PRISMA").
 
+Clairvoyant lookahead (ROADMAP item 1): when a
+:class:`~repro.core.schedule.LookaheadSchedule` is installed, producers keep
+fetching **across the epoch boundary** once the current epoch's FIFO drains
+— while the buffer has slack, they claim the next epoch's prefix from the
+schedule and stage it early.  ``on_epoch`` then loads the filenames list
+with those paths marked *prestaged*, so the new epoch starts with warm
+buffer hits instead of a cold ramp.  The ``lookahead_epochs`` knob (also a
+``TuningSettings.extra`` key) bounds how far ahead producers may run;
+0 disables lookahead entirely.
+
 Fault tolerance (the graceful-degradation half of the data plane):
 
 * **Producer supervision.**  Every producer process is joined by a
@@ -29,7 +39,7 @@ Fault tolerance (the graceful-degradation half of the data plane):
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Set
 
 from ..simcore.errors import Interrupt, ProcessError
 from ..simcore.event import Event
@@ -38,6 +48,16 @@ from ..storage.filesystem import TransientReadError
 from .buffer import HIT_OVERHEAD, MEMORY_BANDWIDTH, PrefetchBuffer
 from .filename_queue import FilenameQueue
 from .optimization import MetricsSnapshot, OptimizationObject, TuningSettings
+from .schedule import LookaheadSchedule
+
+
+def _validate_lookahead(value: object) -> int:
+    """Normalize the ``lookahead_epochs`` knob (int >= 0, bool rejected)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"lookahead_epochs must be an int, got {value!r}")
+    if value < 0:
+        raise ValueError("lookahead_epochs must be >= 0")
+    return value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simcore.kernel import Process, Simulator
@@ -71,6 +91,10 @@ class ParallelPrefetcher(OptimizationObject):
         (0 disables retry and surfaces the staged error directly).
     retry_backoff:
         First retry delay in seconds; doubles per attempt.
+    lookahead_epochs:
+        How many epochs past the live one producers may fetch ahead when a
+        :class:`~repro.core.schedule.LookaheadSchedule` is installed
+        (0 disables cross-epoch lookahead).
     """
 
     def __init__(
@@ -82,6 +106,7 @@ class ParallelPrefetcher(OptimizationObject):
         max_producers: int = 16,
         max_read_retries: int = 2,
         retry_backoff: float = 1e-3,
+        lookahead_epochs: int = 0,
         name: str = "prisma.prefetch",
     ) -> None:
         super().__init__(sim, backend, name)
@@ -115,6 +140,25 @@ class ParallelPrefetcher(OptimizationObject):
         self.producer_crashes = 0
         self.producer_respawns = 0
         self.serve_retries = 0
+        self.lookahead_epochs = _validate_lookahead(lookahead_epochs)
+        #: the clairvoyant oracle (None = reactive per-epoch FIFO only)
+        self.schedule: Optional[LookaheadSchedule] = None
+        #: next-epoch paths fetched early, pending their epoch's load()
+        self._staged_ahead: Set[str] = set()
+        self.lookahead_fetches = 0
+
+    def install_schedule(self, schedule: LookaheadSchedule) -> None:
+        """Install the clairvoyant oracle, propagating it down the stack.
+
+        A backend that is itself schedule-aware (e.g.
+        :class:`~repro.core.tiering.ClairvoyantTieringObject`) receives the
+        same schedule, so prefetcher and tier hierarchy plan against one
+        shared fetch clock.
+        """
+        self.schedule = schedule
+        propagate = getattr(self.backend, "install_schedule", None)
+        if propagate is not None:
+            propagate(schedule)
 
     # -- knobs -----------------------------------------------------------------
     @property
@@ -133,18 +177,70 @@ class ParallelPrefetcher(OptimizationObject):
             self.set_producers(settings.producers)
         if settings.buffer_capacity is not None:
             self.buffer.set_capacity(settings.buffer_capacity)
+        lookahead = settings.extra.get("lookahead_epochs")
+        if lookahead is not None:
+            self.lookahead_epochs = _validate_lookahead(lookahead)
+            self._spawn_up_to_target()
 
     # -- epoch lifecycle ------------------------------------------------------------
     def on_epoch(self, paths: Iterable[str]) -> None:
         """Install the shared shuffled filenames list and start prefetching."""
-        self.queue.load(paths)
+        paths = list(paths)
+        if self.schedule is not None:
+            if self.schedule.epochs_started >= self.schedule.n_epochs:
+                # Horizon exhausted: degrade gracefully to reactive mode
+                # rather than failing the run.
+                self.schedule = None
+            else:
+                self.schedule.start_epoch(paths)
+        # Paths fetched across the epoch boundary are already staged: keep
+        # them covered but out of the FIFO, or they would be fetched twice.
+        prestaged = [p for p in paths if p in self._staged_ahead]
+        self.queue.load(paths, prestaged=prestaged)
+        self._staged_ahead.difference_update(prestaged)
         # New epoch: every path becomes requestable again (the buffer's
         # duplicate-request detection tracks consumption per epoch).
         self.buffer.begin_epoch()
         self._spawn_up_to_target()
 
+    # -- clairvoyant lookahead ---------------------------------------------------
+    def _lookahead_ready(self) -> bool:
+        """Whether a producer could claim a cross-epoch fetch right now."""
+        return self._peek_lookahead() is not None
+
+    def _peek_lookahead(self) -> Optional[str]:
+        if self.schedule is None or self.lookahead_epochs < 1:
+            return None
+        # Slack rule: never let lookahead compete with the live epoch for
+        # buffer space — count staged samples *and* in-flight fetches.
+        if self.buffer.level + len(self._in_flight) >= self.buffer.capacity:
+            return None
+        path = self.schedule.peek_ahead(self.lookahead_epochs)
+        if path is None:
+            return None
+        # Stop (don't skip) on conflict: the path is still buffered or in
+        # flight for the *current* epoch.  Skipping would desync the fetch
+        # clock; stopping keeps the claimed prefix contiguous, and the
+        # serve-path respawn hook retries once the conflict clears.
+        if self.buffer.contains(path) or path in self._in_flight.values():
+            return None
+        return path
+
+    def _claim_lookahead(self) -> Optional[str]:
+        """Atomically claim the next cross-epoch path for one producer."""
+        path = self._peek_lookahead()
+        if path is None:
+            return None
+        assert self.schedule is not None
+        self.schedule.mark_fetched(path)  # claim = advance the fetch clock
+        self._staged_ahead.add(path)
+        self.lookahead_fetches += 1
+        return path
+
     def _spawn_up_to_target(self) -> None:
-        while self._live_producers < self._target_producers and self.queue.remaining > 0:
+        while self._live_producers < self._target_producers and (
+            self.queue.remaining > 0 or self._lookahead_ready()
+        ):
             worker_id = self._next_worker_id
             self._next_worker_id += 1
             self._live_producers += 1
@@ -179,9 +275,19 @@ class ParallelPrefetcher(OptimizationObject):
         self.producer_crashes += 1
         path = self._in_flight.pop(worker_id, None)
         if path is not None:
-            # Dequeued but never staged: put it back or its consumer hangs.
-            self.queue.requeue(path)
-        if self.queue.remaining > 0 and self._live_producers < self._target_producers:
+            if path in self._staged_ahead:
+                # A crashed *lookahead* fetch is not requeued into the live
+                # epoch (the next load() may arrive while it would still be
+                # pending); releasing the claim re-enqueues it normally in
+                # its own epoch — its clock position stays claimed, and the
+                # late refetch's mark is a no-op by design.
+                self._staged_ahead.discard(path)
+            else:
+                # Dequeued but never staged: put it back or its consumer hangs.
+                self.queue.requeue(path)
+        if self._live_producers < self._target_producers and (
+            self.queue.remaining > 0 or self._lookahead_ready()
+        ):
             self.producer_respawns += 1
             self._spawn_up_to_target()
 
@@ -193,8 +299,16 @@ class ParallelPrefetcher(OptimizationObject):
                 if self._live_producers > self._target_producers:
                     return
                 path = self.queue.next()
-                if path is None:
-                    return  # epoch drained; respawned on next on_epoch()
+                if path is not None:
+                    if self.schedule is not None:
+                        # Dequeues happen in schedule order, so this is the
+                        # normal clock advance; crash-requeued refetches
+                        # match nothing and leave the clock alone.
+                        self.schedule.mark_fetched(path)
+                else:
+                    path = self._claim_lookahead()
+                    if path is None:
+                        return  # epoch drained; respawned on next on_epoch()
                 self._in_flight[worker_id] = path
                 self.active_producers.increment()
                 tel = self.sim.telemetry
@@ -295,6 +409,10 @@ class ParallelPrefetcher(OptimizationObject):
             )
 
         fetched.add_callback(after_fetch)
+        if self.schedule is not None and self.lookahead_epochs > 0:
+            # Each serve evicts a sample, opening buffer slack: resume
+            # cross-epoch fetching if producers parked on a full buffer.
+            done.add_callback(lambda _ev: self._spawn_up_to_target())
         return done
 
     def _retry_read(self, path: str, first_exc: Exception, done: Event):
@@ -343,4 +461,5 @@ class ParallelPrefetcher(OptimizationObject):
             read_errors=self.read_errors,
             producer_respawns=self.producer_respawns,
             serve_retries=self.serve_retries,
+            lookahead_fetches=self.lookahead_fetches,
         )

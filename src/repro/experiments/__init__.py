@@ -15,6 +15,12 @@ from .config import (
     figure4_scale,
     test_scale,
 )
+from .clairvoyant import (
+    ClairvoyantReport,
+    ClairvoyantRun,
+    format_clairvoyant,
+    run_clairvoyant_comparison,
+)
 from .faults import FaultSweepReport, demo_plan, format_fault_sweep, run_fault_sweep
 from .figure2 import Figure2Cell, Figure2Result, run_figure2
 from .figure3 import Figure3Curve, Figure3Result, run_figure3
@@ -23,6 +29,8 @@ from .report import format_ablation, format_figure2, format_figure3, format_figu
 from .runner import TF_SETUPS, TORCH_SETUPS, TrialResult, run_tf_trial, run_torch_trial
 
 __all__ = [
+    "ClairvoyantReport",
+    "ClairvoyantRun",
     "ExperimentScale",
     "FaultSweepReport",
     "Figure2Cell",
@@ -40,10 +48,12 @@ __all__ = [
     "figure2_scale",
     "figure4_scale",
     "format_ablation",
+    "format_clairvoyant",
     "format_fault_sweep",
     "format_figure2",
     "format_figure3",
     "format_figure4",
+    "run_clairvoyant_comparison",
     "run_fault_sweep",
     "run_figure2",
     "run_figure3",

@@ -31,6 +31,8 @@ class MetricsSnapshot:
     read_errors: float = 0.0
     producer_respawns: float = 0.0
     serve_retries: float = 0.0
+    #: cross-epoch fetches claimed from a lookahead schedule (counter)
+    lookahead_fetches: float = 0.0
 
     @classmethod
     def aggregate(cls, snapshots: "Sequence[MetricsSnapshot]") -> "MetricsSnapshot":
@@ -62,6 +64,7 @@ class MetricsSnapshot:
             read_errors=sum(s.read_errors for s in snapshots),
             producer_respawns=sum(s.producer_respawns for s in snapshots),
             serve_retries=sum(s.serve_retries for s in snapshots),
+            lookahead_fetches=sum(s.lookahead_fetches for s in snapshots),
         )
 
     def error_rate(self, previous: Optional["MetricsSnapshot"] = None) -> float:

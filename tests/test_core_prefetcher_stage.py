@@ -367,7 +367,9 @@ def test_tiering_eviction_respects_capacity():
     sim, posix, split = make_env(n_train=8, profile=sata_hdd())
     fast_fs = Filesystem(sim, BlockDevice(sim, ramdisk(), name="fast"), name="fastfs")
     one_file = split.train.size(0)
-    tier = TieringObject(sim, posix, fast_fs, fast_capacity_bytes=one_file * 1.5, promote_after=1)
+    tier = TieringObject(
+        sim, posix, fast_fs, fast_capacity_bytes=one_file * 3 // 2, promote_after=1
+    )
 
     def scenario():
         for i in range(4):
@@ -376,7 +378,7 @@ def test_tiering_eviction_respects_capacity():
 
     sim.process(scenario())
     sim.run()
-    assert tier.resident_bytes <= one_file * 1.5
+    assert tier.resident_bytes <= one_file * 3 // 2
     assert tier.counters.get("demotions") >= 1
 
 
