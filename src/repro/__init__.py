@@ -17,6 +17,8 @@ Layers (bottom-up):
 * :mod:`repro.core` — **PRISMA** (the paper's contribution) + integrations;
 * :mod:`repro.core.live` — a real-threads PRISMA usable on actual files;
 * :mod:`repro.multitenant` — shared-storage multi-job coordination;
+* :mod:`repro.cluster` — sharded peer-to-peer sample serving with a
+  cluster-wide cooperative cache;
 * :mod:`repro.faults` — deterministic fault injection & chaos schedules;
 * :mod:`repro.experiments` — the harness regenerating every paper figure.
 
@@ -26,6 +28,7 @@ Quickstart::
     print(quick_demo())
 """
 
+from .cluster import ClusterConfig, ClusterMount, ClusterNode, ClusterStore, ShardMap
 from .core import (
     ClairvoyantTieringObject,
     Controller,
@@ -47,6 +50,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ClairvoyantTieringObject",
+    "ClusterConfig",
+    "ClusterMount",
+    "ClusterNode",
+    "ClusterStore",
     "Controller",
     "DegradedModePolicy",
     "FaultEvent",
@@ -58,6 +65,7 @@ __all__ = [
     "PrismaConfig",
     "PrismaStage",
     "RandomStreams",
+    "ShardMap",
     "Simulator",
     "StaticPolicy",
     "TieringConfig",

@@ -8,6 +8,7 @@ Usage::
     python -m repro ablation {autotune,device,period}
     python -m repro faults-demo [--seed N] [--files N]
     python -m repro clairvoyant [--files N] [--epochs N] [--lookahead N]
+    python -m repro cluster [--quick] [--nodes 128 256 512 1024] [--files N]
     python -m repro live-demo [--jobs N] [--files N] [--budget N]
     python -m repro trace --experiment figure2 --out trace.json
     python -m repro demo
@@ -234,6 +235,41 @@ def _cmd_faults_demo(args) -> int:
         _note(args, f"wrote {args.out}")
     print(format_fault_sweep(report))
     return 0 if report.completed else 1
+
+
+def _cmd_cluster(args) -> int:
+    from .experiments.cluster import format_cluster_sweep, run_cluster_sweep
+
+    nodes = tuple(args.nodes) if args.nodes else (128, 256, 512, 1024)
+    if args.quick:
+        nodes = tuple(args.nodes) if args.nodes else (16, 32, 64)
+    files = args.files if args.files is not None else (256 if args.quick else 1024)
+
+    def progress(report) -> None:
+        _note(
+            args,
+            f"  ran n={report.n_nodes}: {report.requests} requests, "
+            f"{report.backing_reads} backing reads, "
+            f"hit rate {report.cluster_hit_rate:.1%}",
+        )
+
+    telemetry = _telemetry_for(args)
+    reports = run_cluster_sweep(
+        node_counts=nodes,
+        seed=args.seed,
+        n_files=files,
+        epochs=args.epochs,
+        telemetry=telemetry,
+        progress=progress if not args.quiet else None,
+    )
+    _finish_trace(telemetry, args)
+    if args.out:
+        from .experiments.export import dump_json
+
+        dump_json([r.metrics_dict() for r in reports], args.out)
+        _note(args, f"wrote {args.out}")
+    print(format_cluster_sweep(reports))
+    return 0 if all(r.completed for r in reports) else 1
 
 
 def _cmd_clairvoyant(args) -> int:
@@ -486,6 +522,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pf.add_argument("--files", type=int, default=600)
     pf.set_defaults(func=_cmd_faults_demo)
+
+    pcl = sub.add_parser(
+        "cluster", parents=[common],
+        help="sharded peer-to-peer sample serving, cooperative-cache sweep",
+    )
+    pcl.add_argument(
+        "--nodes", nargs="+", type=int,
+        help="cluster sizes to sweep (default 128 256 512 1024)",
+    )
+    pcl.add_argument(
+        "--files", type=int, default=None,
+        help="catalog size (default 1024; 256 with --quick)",
+    )
+    pcl.add_argument("--epochs", type=int, default=2)
+    pcl.add_argument(
+        "--quick", action="store_true", help="small node counts for a fast look"
+    )
+    pcl.set_defaults(func=_cmd_cluster)
 
     pcv = sub.add_parser(
         "clairvoyant", parents=[common],

@@ -1,0 +1,30 @@
+"""Sharded peer-to-peer sample serving with a cluster-wide cooperative cache.
+
+The paper's decoupling argument, scaled out: when storage optimizations are
+self-contained objects behind a stable interface, nothing stops the "cache"
+from being the *aggregate* fast storage of the whole cluster.  This package
+shards the sample catalog across N simulated storage nodes by stable hash
+(:class:`ShardMap`), keeps each shard hot in the owner's node-local tier,
+and serves non-owner reads peer-to-peer over the RPC layer — so each sample
+hits the shared backing store at most once per epoch cluster-wide
+(:class:`ClusterStore` ledgers exactly that invariant).
+
+Entry points: build a :class:`ClusterStore` over any filesystem-like
+backing store, then :meth:`ClusterStore.mount` a node to get a
+:class:`~repro.storage.posix.PosixLike` view any existing pipeline can use
+unchanged.  ``repro cluster`` sweeps node counts from the CLI;
+``experiments/cluster.py`` holds the reproducible sweep.
+"""
+
+from .node import ClusterMount, ClusterNode
+from .shard import ShardMap, UnknownSample
+from .store import ClusterConfig, ClusterStore
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterMount",
+    "ClusterNode",
+    "ClusterStore",
+    "ShardMap",
+    "UnknownSample",
+]

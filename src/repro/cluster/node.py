@@ -1,0 +1,265 @@
+"""One storage node of the peer-to-peer serving cluster.
+
+A :class:`ClusterNode` is the unit the cooperative cache is built from: it
+owns one shard of the catalog (per the cluster's
+:class:`~repro.cluster.shard.ShardMap`), keeps that shard hot in a local
+fast tier (a :class:`~repro.core.tiering.TieringObject` over a node-local
+filesystem), and answers two kinds of traffic:
+
+* **local reads** — its own trainer asking for any sample.  Owned samples
+  read through the tier (first touch fetches from the backing store once,
+  coalesced); non-owned samples are requested from the owning peer over the
+  RPC channel layer, falling back to the backing store only when the peer
+  is unreachable past the retry budget.
+* **peer serves** — other nodes asking for samples *this* node owns,
+  served from the same tier through the same coalesced read-through path,
+  so a sample is fetched from the backing store at most once no matter how
+  many peers race for it.
+
+:class:`ClusterMount` wraps a node in the
+:class:`~repro.storage.posix.PosixLike` interface so unmodified pipelines
+(prefetchers, PRISMA stages, framework simulators) mount the cluster the
+same way they mount a local filesystem — the paper's portability claim
+extended across nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..core.control.rpc import ControlChannel, RetryPolicy, RpcError
+from ..core.tiering import TieringObject
+from ..simcore.event import Event, chain_result
+from ..storage.filesystem import Filesystem
+from ..storage.posix import BadFileDescriptor, PosixLike
+from ..telemetry import CounterSet
+from .shard import ShardMap, UnknownSample
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.kernel import Simulator
+    from .store import ClusterStore
+
+
+class ClusterNode:
+    """One node: a tier over its shard, a service channel, and a client path."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        index: int,
+        store: "ClusterStore",
+        fast_fs: Filesystem,
+        tier_capacity_bytes: int,
+        channel: ControlChannel,
+        retry_policy: RetryPolicy,
+        rpc_timeout: Optional[float],
+        cache_remote_reads: bool = False,
+        name: str = "cluster.n0",
+    ) -> None:
+        self.sim = sim
+        self.index = index
+        self.store = store
+        self.channel = channel
+        self.retry_policy = retry_policy
+        self.rpc_timeout = rpc_timeout
+        self.cache_remote_reads = cache_remote_reads
+        self.name = name
+        self.counters = CounterSet()
+        # The tier's fill path is routed through this node (owned samples
+        # come from the backing store, remote ones from the owning peer) —
+        # the "peer tier as a promotion source" seam in core/tiering.
+        self.tier = TieringObject(
+            sim,
+            backend=store.backing_reader,
+            fast_fs=fast_fs,
+            fast_capacity_bytes=tier_capacity_bytes,
+            promote_after=1,
+            name=f"{name}.tier",
+            promotion_source=self._tier_source,
+        )
+
+    # -- client path ------------------------------------------------------------
+    @property
+    def shard_map(self) -> ShardMap:
+        return self.store.shard_map
+
+    def read(self, path: str) -> Event:
+        """Serve one sample request from the cooperative cache.
+
+        Owned samples read through the local tier; non-owned samples are
+        admitted to it only when ``cache_remote_reads`` is on (a requester
+        must not displace its own shard by default — evicting owned samples
+        would force peers back to the backing store).
+        """
+        self.counters.add("reads")
+        owner = self.shard_map.owner_of(path)
+        if owner == self.index:
+            self.counters.add("local_requests")
+            admit = True
+        else:
+            self.counters.add("remote_requests")
+            admit = self.cache_remote_reads
+        return self.tier.fetch_through(path, admit=admit)
+
+    def _tier_source(self, path: str) -> Event:
+        """Where the tier's read-through fetches get their bytes."""
+        owner = self.shard_map.owner_of(path)
+        if owner == self.index:
+            return self.store.backing_read(path)
+        return self._peer_fetch(path, owner)
+
+    def _peer_fetch(self, path: str, owner: int) -> Event:
+        """Request ``path`` from its owner; fall back to the backing store.
+
+        The peer exchange rides :meth:`ControlChannel.request_with_retry`
+        (transport losses and timeouts retried under the node's
+        :class:`RetryPolicy`); once retries are exhausted — or the peer
+        fails fatally — the sample is read from the backing store instead,
+        trading the cooperative invariant for availability.
+        """
+        peer = self.store.nodes[owner]
+        done = Event(self.sim, name=f"{self.name}.peer:{path}")
+
+        def fetch():
+            tel = self.sim.telemetry
+            span = None
+            if tel is not None:
+                span = tel.begin(
+                    "cluster.remote_read", f"cluster.{self.name}", "cluster",
+                    lane=True, path=path, owner=owner,
+                )
+            try:
+                nbytes = yield peer.channel.request_with_retry(
+                    peer.serve, path,
+                    policy=self.retry_policy, timeout=self.rpc_timeout,
+                )
+            except RpcError:
+                self.counters.add("peer_misses")
+                self.counters.add("fallback_reads")
+                if tel is not None:
+                    tel.registry.counter(
+                        "cluster.peer_misses_total", object=self.name
+                    ).inc()
+                try:
+                    nbytes = yield self.store.backing_read(path)
+                except BaseException as exc:
+                    if span is not None:
+                        tel.end(span, outcome="error", error=type(exc).__name__)
+                    raise
+                if span is not None:
+                    tel.end(span, outcome="fallback")
+                return nbytes
+            self.counters.add("peer_hits")
+            if tel is not None:
+                tel.registry.counter(
+                    "cluster.peer_hits_total", object=self.name
+                ).inc()
+                tel.end(span, outcome="peer")
+            return nbytes
+
+        proc = self.sim.process(fetch(), name=f"{self.name}.peer_fetch")
+        return chain_result(proc, done)
+
+    # -- service path -----------------------------------------------------------
+    def serve(self, path: str) -> Event:
+        """Far-side RPC handler: serve an owned sample from the tier.
+
+        Called (over this node's channel) by peers; the read-through tier
+        coalesces concurrent serves of the same cold sample onto one
+        backing fetch, which is what keeps retried at-most-once requests
+        from double-reading the backing store.
+        """
+        if self.shard_map.owner_of(path) != self.index:
+            raise UnknownSample(f"{self.name} does not own {path!r}")
+        self.counters.add("peer_serves")
+        return self.tier.fetch_through(path)
+
+    # -- observability -----------------------------------------------------------
+    @property
+    def resident_files(self) -> int:
+        return self.tier.resident_files
+
+    @property
+    def resident_bytes(self) -> int:
+        return self.tier.resident_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClusterNode {self.name!r} shard={len(self.shard_map.shard(self.index))} "
+            f"resident={self.resident_files}>"
+        )
+
+
+@dataclass
+class _OpenFile:
+    path: str
+    offset: int = 0
+
+
+class ClusterMount(PosixLike):
+    """POSIX facade over one node's view of the cluster store.
+
+    Whole-file reads of cataloged samples (the DL sample-load pattern) go
+    through the cooperative cache; partial reads and paths outside the
+    catalog (validation sets, checkpoints) fall through to the backing
+    store untouched — the same covered/uncovered split a PRISMA stage
+    applies to its optimization objects.
+    """
+
+    def __init__(self, node: ClusterNode) -> None:
+        self.node = node
+        self.sim = node.sim
+        self._next_fd = 3
+        self._open: Dict[int, _OpenFile] = {}
+
+    # -- descriptor management ---------------------------------------------------
+    def open(self, path: str) -> int:
+        self.node.store.backing.stat(path)  # raises FileNotFound
+        fd = self._next_fd
+        self._next_fd += 1
+        self._open[fd] = _OpenFile(path)
+        return fd
+
+    def _entry(self, fd: int) -> _OpenFile:
+        try:
+            return self._open[fd]
+        except KeyError:
+            raise BadFileDescriptor(fd) from None
+
+    def close(self, fd: int) -> None:
+        self._entry(fd)
+        del self._open[fd]
+
+    def fstat_size(self, fd: int) -> int:
+        return self.node.store.backing.stat(self._entry(fd).path).size
+
+    # -- data path ----------------------------------------------------------------
+    def _whole(self, path: str) -> Event:
+        if self.node.shard_map.covers(path):
+            return self.node.read(path)
+        return self.node.store.backing.read_file(path)
+
+    def pread(self, fd: int, length: int, offset: int) -> Event:
+        entry = self._entry(fd)
+        if offset == 0 and self.node.shard_map.covers(entry.path):
+            done = Event(self.sim, name=f"{self.node.name}.pread")
+            return chain_result(
+                self.node.read(entry.path), done, lambda nbytes: min(nbytes, length)
+            )
+        return self.node.store.backing.read(entry.path, offset, length)
+
+    def read(self, fd: int, length: int) -> Event:
+        entry = self._entry(fd)
+        done = Event(self.sim, name=f"{self.node.name}.read")
+        inner = self.pread(fd, length, entry.offset)
+
+        def advance(nbytes: int) -> int:
+            entry.offset += nbytes
+            return nbytes
+
+        return chain_result(inner, done, advance)
+
+    def read_whole(self, path: str) -> Event:
+        """Whole-sample read through the cooperative cache (prefetcher API)."""
+        return self._whole(path)

@@ -1,0 +1,113 @@
+"""Stable-hash partitioning of a sample catalog across cluster nodes.
+
+FanStore's core idea (PAPERS.md: Zhang et al.): shard the dataset across
+the *compute* nodes so the cluster's aggregate fast storage — not the
+shared backing store — absorbs the epoch's read traffic.  Node ``k`` owns
+the samples whose path hashes to ``k``; every node can compute any sample's
+owner locally, with no metadata service in the loop.
+
+The placement function is the same convention as
+:meth:`~repro.storage.distributed.DistributedFilesystem._place` (a blake2s
+digest of the path modulo the node count), so the shard map is:
+
+* **deterministic** — a pure function of ``(path, n_nodes, salt)``; any
+  two nodes (or two runs) agree without communication;
+* **total** — every catalog path has exactly one owner;
+* **balanced** — hash placement keeps the max/min shard-size ratio bounded
+  for catalogs meaningfully larger than the node count (the property suite
+  draws node counts and checks the bound).
+
+``salt`` perturbs placement (it is mixed into the digest as the blake2s
+key) so tests and rebalancing experiments can draw *different* maps over
+the same catalog while each stays individually deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from ..storage.filesystem import StorageError
+
+
+class UnknownSample(StorageError):
+    """A path outside the catalog was asked for by owner lookup."""
+
+
+class ShardMap:
+    """Immutable path → owning-node assignment over a fixed catalog."""
+
+    def __init__(self, paths: Iterable[str], n_nodes: int, salt: int = 0) -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if salt < 0:
+            raise ValueError("salt must be non-negative")
+        self.n_nodes = n_nodes
+        self.salt = salt
+        self._key = salt.to_bytes(8, "little") if salt else b""
+        self._owners: Dict[str, int] = {}
+        shards: List[List[str]] = [[] for _ in range(n_nodes)]
+        for path in paths:
+            if path in self._owners:
+                raise ValueError(f"duplicate catalog path {path!r}")
+            owner = self.place(path)
+            self._owners[path] = owner
+            shards[owner].append(path)
+        self._shards: Tuple[Tuple[str, ...], ...] = tuple(
+            tuple(shard) for shard in shards
+        )
+
+    # -- placement ----------------------------------------------------------------
+    def place(self, path: str) -> int:
+        """The pure hash placement for *any* path (cataloged or not)."""
+        digest = hashlib.blake2s(
+            path.encode(), digest_size=4, key=self._key
+        ).digest()
+        return int.from_bytes(digest, "little") % self.n_nodes
+
+    def owner_of(self, path: str) -> int:
+        """The owning node of a cataloged path; :class:`UnknownSample` else."""
+        try:
+            return self._owners[path]
+        except KeyError:
+            raise UnknownSample(path) from None
+
+    def covers(self, path: str) -> bool:
+        return path in self._owners
+
+    __contains__ = covers
+
+    # -- views --------------------------------------------------------------------
+    def shard(self, node: int) -> Tuple[str, ...]:
+        """The paths node ``node`` owns, in catalog order."""
+        return self._shards[node]
+
+    def shard_sizes(self) -> List[int]:
+        return [len(shard) for shard in self._shards]
+
+    def assignments(self) -> Iterator[Tuple[str, int]]:
+        return iter(self._owners.items())
+
+    def __len__(self) -> int:
+        return len(self._owners)
+
+    # -- balance ------------------------------------------------------------------
+    def imbalance(self) -> float:
+        """max/mean shard-size ratio (1.0 = perfectly even)."""
+        sizes = self.shard_sizes()
+        mean = sum(sizes) / len(sizes)
+        return max(sizes) / mean if mean > 0 else 1.0
+
+    def spread(self) -> float:
+        """max/min shard-size ratio; ``inf`` when some node owns nothing."""
+        sizes = self.shard_sizes()
+        largest, smallest = max(sizes), min(sizes)
+        if smallest == 0:
+            return float("inf") if largest > 0 else 1.0
+        return largest / smallest
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardMap {len(self._owners)} paths over {self.n_nodes} nodes "
+            f"imbalance={self.imbalance():.2f}>"
+        )

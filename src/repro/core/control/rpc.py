@@ -27,6 +27,21 @@ far-side bugs:
 :meth:`ControlChannel.call_with_retry` layers exponential backoff and a
 total time budget on top (:class:`RetryPolicy`), raising
 :class:`RpcRetriesExhausted` once the budget or attempt count runs out.
+
+Data-plane requests
+-------------------
+
+:meth:`ControlChannel.request` is the *data-plane* sibling of
+:meth:`ControlChannel.call`: the far-side function may return a kernel
+:class:`~repro.simcore.event.Event` (a read that takes simulated time —
+e.g. a peer node serving a sample from its fast tier), and the reply leg
+is only sent once that event settles.  The error taxonomy is unchanged —
+lost messages and late replies stay retryable transport errors, while a
+far-side failure (including a failed far-side event) is a fatal
+:class:`RpcApplicationError`, because replaying a deterministic far-side
+failure buys nothing; data-plane callers fall back to the backing store
+instead.  :meth:`ControlChannel.request_with_retry` adds the same backoff
+machinery :meth:`ControlChannel.call_with_retry` gives control RPCs.
 """
 
 from __future__ import annotations
@@ -129,41 +144,45 @@ class ControlChannel:
         return self._dropping or self._extra_delay > 0
 
     # -- data path --------------------------------------------------------------
-    def call(self, fn: Callable[..., Any], *args: Any, timeout: Optional[float] = None) -> Event:
-        """Invoke ``fn(*args)`` on the far side; event value = its result.
+    def _round_trip(self, fn: Callable[..., Any], args: tuple, awaited: bool):
+        """One request/reply exchange (generator body shared by call/request).
 
-        Fails with :class:`RpcTransportError` when the channel is dropping,
-        :class:`RpcTimeout` when the round trip exceeds ``timeout``, and
-        :class:`RpcApplicationError` when ``fn`` itself raises.  Note that
-        a timed-out call may still have *executed* ``fn`` — the reply was
-        late, not the request lost — exactly the at-most-once ambiguity a
-        real RPC layer has.
+        ``awaited`` selects data-plane semantics: a far-side return value
+        that is itself an :class:`Event` is waited on before the reply leg,
+        and its failure is a far-side (application) failure.
         """
-        self.counters.add("calls")
-        done = Event(self.sim, name=f"{self.name}.call")
+        one_way = self.latency + self._extra_delay
+        if one_way > 0:
+            yield self.sim.timeout(one_way)
+        if self._dropping:
+            self.counters.add("drops")
+            raise RpcTransportError(f"{self.name}: request dropped")
+        try:
+            result = fn(*args)
+            if awaited and isinstance(result, Event):
+                result = yield result
+        except RpcError:
+            # A nested RPC failure on the far side is still a far-side
+            # failure from this channel's point of view.
+            raise
+        except Exception as exc:  # noqa: BLE001 - typed and re-raised
+            raise RpcApplicationError(
+                f"{self.name}: far side raised {type(exc).__name__}"
+            ) from exc
+        one_way = self.latency + self._extra_delay
+        if one_way > 0:
+            yield self.sim.timeout(one_way)
+        if self._dropping:
+            self.counters.add("drops")
+            raise RpcTransportError(f"{self.name}: reply dropped")
+        return result
 
-        def round_trip():
-            one_way = self.latency + self._extra_delay
-            if one_way > 0:
-                yield self.sim.timeout(one_way)
-            if self._dropping:
-                self.counters.add("drops")
-                raise RpcTransportError(f"{self.name}: request dropped")
-            try:
-                result = fn(*args)
-            except Exception as exc:  # noqa: BLE001 - typed and re-raised
-                raise RpcApplicationError(
-                    f"{self.name}: far side raised {type(exc).__name__}"
-                ) from exc
-            one_way = self.latency + self._extra_delay
-            if one_way > 0:
-                yield self.sim.timeout(one_way)
-            if self._dropping:
-                self.counters.add("drops")
-                raise RpcTransportError(f"{self.name}: reply dropped")
-            return result
-
-        proc = self.sim.process(round_trip(), name=f"{self.name}.rpc")
+    def _dispatch(self, fn, args, timeout: Optional[float], awaited: bool, label: str) -> Event:
+        """Run one round trip with timeout plumbing; returns the caller event."""
+        done = Event(self.sim, name=f"{self.name}.{label}")
+        proc = self.sim.process(
+            self._round_trip(fn, args, awaited), name=f"{self.name}.rpc"
+        )
 
         def settle(p: Event) -> None:
             if done.triggered:
@@ -194,23 +213,44 @@ class ControlChannel:
             self.sim.timeout(timeout).add_callback(expire)
         return done
 
-    def call_with_retry(
-        self,
-        fn: Callable[..., Any],
-        *args: Any,
-        policy: Optional[RetryPolicy] = None,
-        timeout: Optional[float] = None,
-    ) -> Event:
-        """:meth:`call` with exponential backoff under a total time budget.
+    def call(self, fn: Callable[..., Any], *args: Any, timeout: Optional[float] = None) -> Event:
+        """Invoke ``fn(*args)`` on the far side; event value = its result.
 
-        Retries transport errors and timeouts only; an
-        :class:`RpcApplicationError` is re-raised immediately (the far side
-        deterministically failed — retrying replays the bug).  When the
-        attempt count or the time budget runs out the event fails with
-        :class:`RpcRetriesExhausted` chaining the last transport error.
+        Fails with :class:`RpcTransportError` when the channel is dropping,
+        :class:`RpcTimeout` when the round trip exceeds ``timeout``, and
+        :class:`RpcApplicationError` when ``fn`` itself raises.  Note that
+        a timed-out call may still have *executed* ``fn`` — the reply was
+        late, not the request lost — exactly the at-most-once ambiguity a
+        real RPC layer has.
         """
-        pol = policy or RetryPolicy()
-        done = Event(self.sim, name=f"{self.name}.call_retry")
+        self.counters.add("calls")
+        return self._dispatch(fn, args, timeout, awaited=False, label="call")
+
+    def request(self, fn: Callable[..., Any], *args: Any, timeout: Optional[float] = None) -> Event:
+        """Data-plane request: like :meth:`call`, but the far side may defer.
+
+        When ``fn(*args)`` returns an :class:`Event` (far-side work that
+        takes simulated time — a peer serving a sample from its tier), the
+        reply leg is sent once that event settles and carries its value.
+        A failed far-side event surfaces as :class:`RpcApplicationError`
+        (fatal): the peer could not produce the bytes, so the caller should
+        fall back, not replay.  ``timeout`` bounds the *whole* exchange,
+        including the far-side service time.
+        """
+        self.counters.add("requests")
+        return self._dispatch(fn, args, timeout, awaited=True, label="request")
+
+    def _retrying(
+        self,
+        invoke: Callable[..., Event],
+        fn: Callable[..., Any],
+        args: tuple,
+        pol: RetryPolicy,
+        timeout: Optional[float],
+        label: str,
+    ) -> Event:
+        """Backoff/budget loop shared by call_with_retry / request_with_retry."""
+        done = Event(self.sim, name=f"{self.name}.{label}")
 
         def attempt_loop():
             start = self.sim.now
@@ -224,7 +264,7 @@ class ControlChannel:
                     if backoff > 0:
                         yield self.sim.timeout(backoff)
                 try:
-                    result = yield self.call(fn, *args, timeout=timeout)
+                    result = yield invoke(fn, *args, timeout=timeout)
                 except RpcApplicationError:
                     raise
                 except RpcError as exc:
@@ -250,3 +290,41 @@ class ControlChannel:
 
         proc.add_callback(settle)
         return done
+
+    def call_with_retry(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        policy: Optional[RetryPolicy] = None,
+        timeout: Optional[float] = None,
+    ) -> Event:
+        """:meth:`call` with exponential backoff under a total time budget.
+
+        Retries transport errors and timeouts only; an
+        :class:`RpcApplicationError` is re-raised immediately (the far side
+        deterministically failed — retrying replays the bug).  When the
+        attempt count or the time budget runs out the event fails with
+        :class:`RpcRetriesExhausted` chaining the last transport error.
+        """
+        return self._retrying(
+            self.call, fn, args, policy or RetryPolicy(), timeout, "call_retry"
+        )
+
+    def request_with_retry(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        policy: Optional[RetryPolicy] = None,
+        timeout: Optional[float] = None,
+    ) -> Event:
+        """:meth:`request` under the same backoff/budget as control calls.
+
+        The retry set is identical — transport losses and timeouts only.
+        Note the at-most-once caveat bites harder on the data plane: a
+        timed-out request may have *completed* on the peer (the sample is
+        now in its tier); retries are therefore idempotent reads, and peer
+        caches must coalesce duplicate in-flight fetches.
+        """
+        return self._retrying(
+            self.request, fn, args, policy or RetryPolicy(), timeout, "request_retry"
+        )

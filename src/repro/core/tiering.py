@@ -28,6 +28,17 @@ Both tiers sit *under* the prefetcher in the full hierarchy
 tiering object act as the prefetcher's backend, and :meth:`serve` lets it
 catch uncovered (e.g. validation) reads as a stage optimization object.
 
+Two seams added for the cluster-wide cooperative cache (:mod:`repro.cluster`):
+
+* ``promotion_source`` — an alternative byte source for tier fills.  In a
+  peer-to-peer deployment the copy comes from the *owning peer's* tier over
+  RPC, not from the backing store, so a promotion never re-reads the PFS.
+* :meth:`fetch_through` — read-through semantics: a miss fetches from the
+  source **exactly once** (concurrent fetches for the same path coalesce
+  onto one in-flight read) and admits the bytes inline, which is what makes
+  "each sample hits the backing store at most once per epoch cluster-wide"
+  an invariant rather than a tendency.
+
 Knobs are control-plane tunable via ``TuningSettings.extra``
 (``"promote_after"``, ``"fast_capacity_bytes"``); capacities follow the
 discrete-byte convention — integers only, ``float("inf")``/NaN rejected.
@@ -38,9 +49,9 @@ from __future__ import annotations
 import math
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Set
 
-from ..simcore.event import Event
+from ..simcore.event import Event, chain_result
 from ..telemetry import CounterSet
 from ..storage.filesystem import Filesystem
 from .optimization import MetricsSnapshot, OptimizationObject, TuningSettings
@@ -134,6 +145,7 @@ class TieringObject(OptimizationObject):
         fast_capacity_bytes: int,
         promote_after: int = 2,
         name: str = "prisma.tiering",
+        promotion_source: Optional[Callable[[str], Event]] = None,
     ) -> None:
         super().__init__(sim, backend, name)
         if promote_after < 1:
@@ -141,6 +153,10 @@ class TieringObject(OptimizationObject):
         self.fast_fs = fast_fs
         self.fast_capacity_bytes = _validate_byte_capacity(fast_capacity_bytes)
         self.promote_after = promote_after
+        #: where tier fills read their bytes from; ``None`` means the
+        #: backend.  The cluster layer points this at a peer's tier so a
+        #: promotion never re-reads the backing store.
+        self.promotion_source = promotion_source
         #: path -> bytes resident on the fast tier (LRU order)
         self._resident: "OrderedDict[str, int]" = OrderedDict()
         self._resident_bytes = 0
@@ -148,6 +164,8 @@ class TieringObject(OptimizationObject):
         #: paths with a background promotion in flight (pruned in the
         #: promotion's ``finally`` — crashes and injected faults included)
         self._promoting: Set[str] = set()
+        #: path -> in-flight read-through fetch (concurrent requests coalesce)
+        self._fetching: Dict[str, Event] = {}
         self.counters = CounterSet()
 
     # -- data path --------------------------------------------------------------
@@ -178,6 +196,54 @@ class TieringObject(OptimizationObject):
     def serve(self, path: str) -> Optional[Event]:
         return self.read_whole(path)
 
+    def fetch_through(self, path: str, admit: bool = True) -> Event:
+        """Read-through: a miss reads the source exactly once, then resides.
+
+        The cooperative-cache read operation (:mod:`repro.cluster`): a
+        resident path is served from the fast tier; a miss reads the
+        promotion source (or backend) **once**, admits the bytes inline
+        when ``admit`` is true, and returns the byte count.  Concurrent
+        fetches for the same path coalesce onto the single in-flight read —
+        the mechanism behind "at most one backing-store read per sample",
+        and what makes retried (at-most-once ambiguous) peer requests safe.
+
+        ``admit=False`` reads through without caching — a requester that
+        does not own the sample and should not displace its own shard.
+        """
+        tel = self.sim.telemetry
+        if path in self._resident:
+            self._resident.move_to_end(path)
+            self.counters.add("fast_hits")
+            if tel is not None:
+                tel.registry.counter("prisma.tier_hits_total", object=self.name).inc()
+            return self.fast_fs.read_file(self._tier_path(path))
+        inflight = self._fetching.get(path)
+        if inflight is not None:
+            self.counters.add("coalesced_fetches")
+            done = Event(self.sim, name=f"{self.name}.coalesced:{path}")
+            return chain_result(inflight, done)
+        self.counters.add("slow_reads")
+        if tel is not None:
+            tel.registry.counter("prisma.tier_misses_total", object=self.name).inc()
+        proc = self.sim.process(self._fetch(path, admit), name=f"{self.name}.fetch")
+        self._fetching[path] = proc
+        proc.add_callback(lambda _ev: self._fetching.pop(path, None))
+        done = Event(self.sim, name=f"{self.name}.fetch:{path}")
+        return chain_result(proc, done)
+
+    def _fetch(self, path: str, admit: bool):
+        """One coalesced source read, optionally admitted to the fast tier."""
+        nbytes = yield self._source_read(path)
+        if admit:
+            yield from self._admit(path, nbytes)
+        return nbytes
+
+    def _source_read(self, path: str) -> Event:
+        """Read the bytes a tier fill needs (promotion source or backend)."""
+        if self.promotion_source is not None:
+            return self.promotion_source(path)
+        return self.backend.read_whole(path)
+
     def _tier_path(self, path: str) -> str:
         return f"/fast{path}"
 
@@ -201,37 +267,47 @@ class TieringObject(OptimizationObject):
         """Background copy slow → fast, then mark resident."""
         try:
             try:
-                nbytes = yield self.backend.read_whole(path)
+                nbytes = yield self._source_read(path)
             except Exception:  # noqa: BLE001 - promotion is best-effort
                 self.counters.add("promotion_failures")
                 return
-            if nbytes > self.fast_capacity_bytes:
-                self.counters.add("too_large")
-                return
-            if not self._make_room(path, nbytes):
-                self.counters.add("promotions_declined")
-                return
-            tier_path = self._tier_path(path)
-            if not self.fast_fs.exists(tier_path):
-                self.fast_fs.create(tier_path, 0)
-            yield self.fast_fs.write(tier_path, nbytes)
-            # A racing promotion/demotion interleaving may have made the
-            # path resident meanwhile; replace, never double-count.
-            old = self._resident.pop(path, None)
-            if old is not None:
-                self._resident_bytes -= old
-            self._resident[path] = int(nbytes)
-            self._resident_bytes += int(nbytes)
-            self.counters.add("promotions")
-            tel = self.sim.telemetry
-            if tel is not None:
-                tel.registry.counter(
-                    "prisma.tier_promotions_total", object=self.name
-                ).inc()
+            yield from self._admit(path, nbytes)
         finally:
             # Unconditional: a crash (Interrupt) or injected fault mid-copy
             # must not leave the path stuck in "promotion in flight" forever.
             self._promoting.discard(path)
+
+    def _admit(self, path: str, nbytes: int):
+        """Make room, copy onto the fast tier, and mark ``path`` resident.
+
+        Shared tail of background promotion and read-through fetches;
+        returns False when the bytes were declined (too large, or eviction
+        could not free enough room under the policy).
+        """
+        if nbytes > self.fast_capacity_bytes:
+            self.counters.add("too_large")
+            return False
+        if not self._make_room(path, nbytes):
+            self.counters.add("promotions_declined")
+            return False
+        tier_path = self._tier_path(path)
+        if not self.fast_fs.exists(tier_path):
+            self.fast_fs.create(tier_path, 0)
+        yield self.fast_fs.write(tier_path, nbytes)
+        # A racing promotion/demotion interleaving may have made the
+        # path resident meanwhile; replace, never double-count.
+        old = self._resident.pop(path, None)
+        if old is not None:
+            self._resident_bytes -= old
+        self._resident[path] = int(nbytes)
+        self._resident_bytes += int(nbytes)
+        self.counters.add("promotions")
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.registry.counter(
+                "prisma.tier_promotions_total", object=self.name
+            ).inc()
+        return True
 
     def _demote(self, victim: str) -> None:
         """Drop one resident file (the slow tier remains authoritative)."""
@@ -311,6 +387,11 @@ class TieringObject(OptimizationObject):
         return len(self._promoting)
 
     @property
+    def fetches_in_flight(self) -> int:
+        """Read-through fetches currently coalescing concurrent requests."""
+        return len(self._fetching)
+
+    @property
     def tracked_access_paths(self) -> int:
         """Size of the access-count table (the leak regression surface)."""
         return len(self._access_counts)
@@ -333,9 +414,11 @@ class ClairvoyantTieringObject(TieringObject):
         fast_fs: Filesystem,
         fast_capacity_bytes: int,
         name: str = "prisma.tiering",
+        promotion_source: Optional[Callable[[str], Event]] = None,
     ) -> None:
         super().__init__(
-            sim, backend, fast_fs, fast_capacity_bytes, promote_after=1, name=name
+            sim, backend, fast_fs, fast_capacity_bytes, promote_after=1,
+            name=name, promotion_source=promotion_source,
         )
         self.schedule: Optional[LookaheadSchedule] = None
 

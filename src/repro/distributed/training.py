@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
+from ..cluster import ClusterStore
 from ..core import Controller, ParallelPrefetcher, PrismaAutotunePolicy, PrismaStage
 from ..core.control import ControlChannel
 from ..core.integrations.tf_binding import PrismaTensorFlowPipeline
@@ -114,6 +115,7 @@ class DistributedTrainingJob:
         streams: RandomStreams,
         use_prisma: bool = False,
         control_period: float = 1e-3,
+        cluster_store: Optional[ClusterStore] = None,
         name: str = "distjob",
     ) -> None:
         if n_nodes < 1:
@@ -131,6 +133,11 @@ class DistributedTrainingJob:
         self.epochs = epochs
         self.name = name
         self.use_prisma = use_prisma
+        #: optional peer-to-peer cooperative cache: when set, every node's
+        #: input pipeline mounts its cluster-store node instead of reading
+        #: the shared backend directly, so the epoch's redundant reads are
+        #: absorbed by the cluster's aggregate fast storage.
+        self.cluster_store = cluster_store
 
         #: steps per epoch: every node must run the same count, so the
         #: shard remainder is dropped (torch's DistributedSampler pads;
@@ -158,12 +165,20 @@ class DistributedTrainingJob:
             shard = _ShardShuffler(global_shuffler, node, n_nodes)
             gpus = GpuEnsemble(sim, name=f"{name}.n{node}.gpu")
             self._gpus.append(gpus)
+            # Each node reads through its own mount of the cooperative
+            # cache when one is configured; otherwise straight to the
+            # shared backend (the uncoordinated baseline).
+            node_posix = (
+                cluster_store.mount(node % len(cluster_store))
+                if cluster_store is not None
+                else shared_posix
+            )
             if use_prisma:
                 prefetcher = ParallelPrefetcher(
-                    sim, shared_posix, name=f"{name}.n{node}.pf"
+                    sim, node_posix, name=f"{name}.n{node}.pf"
                 )
                 stage = PrismaStage(
-                    sim, shared_posix, [prefetcher], name=f"{name}.n{node}.stage"
+                    sim, node_posix, [prefetcher], name=f"{name}.n{node}.stage"
                 )
                 assert self.controller is not None
                 # One logically centralized controller, one named channel
@@ -181,7 +196,7 @@ class DistributedTrainingJob:
                 )
             else:
                 source = tf_baseline(
-                    sim, catalog, shard, self.local_batch, shared_posix, model,
+                    sim, catalog, shard, self.local_batch, node_posix, model,
                     name=f"{name}.n{node}.src",
                 )
             self._sources.append(source)
@@ -211,6 +226,10 @@ class DistributedTrainingJob:
         return result
 
     def run(self) -> DistributedResult:
+        if self.cluster_store is not None:
+            # Fresh ledger for the job; per-epoch resets are the concern of
+            # the experiment harness (nodes cross epoch boundaries skewed).
+            self.cluster_store.begin_epoch()
         if self.controller is not None:
             self.controller.start()
         node_results = [NodeResult(node=i, train_time=0.0) for i in range(self.n_nodes)]

@@ -21,6 +21,13 @@ from .clairvoyant import (
     format_clairvoyant,
     run_clairvoyant_comparison,
 )
+from .cluster import (
+    ClusterEpochStats,
+    ClusterReport,
+    format_cluster_sweep,
+    run_cluster_serving,
+    run_cluster_sweep,
+)
 from .faults import FaultSweepReport, demo_plan, format_fault_sweep, run_fault_sweep
 from .figure2 import Figure2Cell, Figure2Result, run_figure2
 from .figure3 import Figure3Curve, Figure3Result, run_figure3
@@ -31,6 +38,8 @@ from .runner import TF_SETUPS, TORCH_SETUPS, TrialResult, run_tf_trial, run_torc
 __all__ = [
     "ClairvoyantReport",
     "ClairvoyantRun",
+    "ClusterEpochStats",
+    "ClusterReport",
     "ExperimentScale",
     "FaultSweepReport",
     "Figure2Cell",
@@ -49,11 +58,14 @@ __all__ = [
     "figure4_scale",
     "format_ablation",
     "format_clairvoyant",
+    "format_cluster_sweep",
     "format_fault_sweep",
     "format_figure2",
     "format_figure3",
     "format_figure4",
     "run_clairvoyant_comparison",
+    "run_cluster_serving",
+    "run_cluster_sweep",
     "run_fault_sweep",
     "run_figure2",
     "run_figure3",

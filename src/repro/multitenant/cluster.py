@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional
 
+from ..cluster import ClusterStore
 from ..core import (
     Controller,
     ParallelPrefetcher,
@@ -85,6 +86,7 @@ class SharedStorageCluster:
         coordination: str = "independent",
         global_policy: Optional[GlobalPolicy] = None,
         max_producers_per_job: int = 8,
+        cluster_store: Optional[ClusterStore] = None,
     ) -> None:
         if coordination not in ("independent", "global", "none"):
             raise ValueError(f"unknown coordination mode {coordination!r}")
@@ -95,6 +97,13 @@ class SharedStorageCluster:
         self.control_period = control_period
         self.coordination = coordination
         self.max_producers_per_job = max_producers_per_job
+        #: optional cooperative cache shared by the tenants: each job's
+        #: *training* pipeline mounts one cluster node, so concurrent jobs
+        #: scanning the same dataset stop multiplying backing-store reads
+        #: (the §VII "access coordination to shared datasets" scenario).
+        #: Validation traffic stays on the shared backend — those catalogs
+        #: are outside the sharded sample catalog anyway.
+        self.cluster_store = cluster_store
         self.jobs: List[TenantJob] = []
         self._controllers: List[Controller] = []
         self._global_controller: Optional[Controller] = None
@@ -125,22 +134,27 @@ class SharedStorageCluster:
         va_sh = EpochShuffler(len(val_catalog), streams.spawn(f"job{index}.val"))
         gpus = GpuEnsemble(self.sim, name=f"job{index}.gpu")
 
+        train_posix = (
+            self.cluster_store.mount(index % len(self.cluster_store))
+            if self.cluster_store is not None
+            else self.shared_posix
+        )
         stage: Optional[PrismaStage] = None
         prefetcher: Optional[ParallelPrefetcher] = None
         if self.coordination == "none":
             train_src = tf_baseline(
-                self.sim, catalog, tr_sh, config.global_batch, self.shared_posix,
+                self.sim, catalog, tr_sh, config.global_batch, train_posix,
                 model, name=f"job{index}.train",
             )
         else:
             prefetcher = ParallelPrefetcher(
                 self.sim,
-                self.shared_posix,
+                train_posix,
                 max_producers=self.max_producers_per_job,
                 name=f"job{index}.prefetch",
             )
             stage = PrismaStage(
-                self.sim, self.shared_posix, [prefetcher], name=f"job{index}.stage"
+                self.sim, train_posix, [prefetcher], name=f"job{index}.stage"
             )
             # Either way the stage attaches through the same kernel
             # registration surface, over a per-job named channel (so
@@ -181,6 +195,8 @@ class SharedStorageCluster:
 
     def run(self) -> ClusterResult:
         """Start all controllers and tenants; drive to completion."""
+        if self.cluster_store is not None:
+            self.cluster_store.begin_epoch()
         for ctl in self._controllers:
             ctl.start()
         if self._global_controller is not None:

@@ -85,6 +85,11 @@ class DistributedFilesystem:
         self.counters = CounterSet()
         #: fault-injection seam, same contract as :class:`Filesystem`'s
         self.fault_hook: Optional[FaultHook] = None
+        #: per-epoch read ledger: path -> completed reads since the last
+        #: :meth:`begin_epoch`.  The cooperative-cache acceptance check
+        #: ("each sample hits the backing store at most once per epoch
+        #: cluster-wide") reads straight off this dict.
+        self._epoch_reads: Dict[str, int] = {}
 
     # -- namespace (Filesystem-compatible) ----------------------------------------
     def _place(self, path: str) -> int:
@@ -153,6 +158,7 @@ class DistributedFilesystem:
             yield self.network.transfer(nbytes)
             self.counters.add("reads")
             self.counters.add("read_bytes", nbytes)
+            self._epoch_reads[path] = self._epoch_reads.get(path, 0) + 1
             return nbytes
 
         proc = self.sim.process(read_process(), name=f"pfsread:{path}")
@@ -160,6 +166,39 @@ class DistributedFilesystem:
 
     def read_file(self, path: str) -> Event:
         return self.read(path, 0, None)
+
+    def read_whole(self, path: str) -> Event:
+        """Whole-file read under the prefetcher/tiering backend protocol.
+
+        Alias of :meth:`read_file` so a :class:`DistributedFilesystem` can
+        sit directly under a :class:`~repro.core.tiering.TieringObject` or
+        prefetcher without a POSIX adapter — the peer-serving cluster mounts
+        it this way.
+        """
+        return self.read(path, 0, None)
+
+    # -- aggregate cache accounting ----------------------------------------------
+    def begin_epoch(self) -> None:
+        """Reset the per-epoch read ledger (call at each epoch boundary)."""
+        self._epoch_reads.clear()
+
+    def epoch_read_count(self, path: str) -> int:
+        """Completed reads of ``path`` since the last :meth:`begin_epoch`."""
+        return self._epoch_reads.get(path, 0)
+
+    @property
+    def epoch_reads(self) -> int:
+        """Total completed reads this epoch."""
+        return sum(self._epoch_reads.values())
+
+    @property
+    def epoch_unique_reads(self) -> int:
+        """Distinct paths read this epoch."""
+        return len(self._epoch_reads)
+
+    def max_epoch_reads_per_path(self) -> int:
+        """Worst per-path redundancy this epoch (1 = perfectly cooperative)."""
+        return max(self._epoch_reads.values(), default=0)
 
     # -- observability -----------------------------------------------------------
     def load_imbalance(self) -> float:

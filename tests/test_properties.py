@@ -369,3 +369,64 @@ def test_run_stats_bounds(values):
     tolerance = 1e-9 * max(1.0, abs(s.minimum), abs(s.maximum))
     assert s.minimum - tolerance <= s.mean <= s.maximum + tolerance
     assert s.std >= 0
+
+
+# ---------------------------------------------------------------- shard map
+# The peer-serving cluster's placement function: total, deterministic,
+# and balanced enough that no node's shard dwarfs another's.
+_shard_paths = st.lists(
+    st.text(alphabet="abcdefgh/0123456789", min_size=1, max_size=24),
+    min_size=1, max_size=120, unique=True,
+)
+
+
+@given(_shard_paths, st.integers(min_value=1, max_value=32))
+def test_shard_map_covers_every_path_exactly_once(paths, n_nodes):
+    from repro.cluster import ShardMap
+
+    smap = ShardMap(paths, n_nodes)
+    owners = {}
+    for node in range(n_nodes):
+        for path in smap.shard(node):
+            assert path not in owners
+            owners[path] = node
+    assert set(owners) == set(paths)
+    assert sum(smap.shard_sizes()) == len(paths)
+    for path in paths:
+        assert owners[path] == smap.owner_of(path) == smap.place(path)
+
+
+@given(
+    _shard_paths,
+    st.integers(min_value=1, max_value=32),
+    st.integers(min_value=0, max_value=2**32),
+)
+def test_shard_map_deterministic_for_fixed_inputs(paths, n_nodes, salt):
+    from repro.cluster import ShardMap
+
+    a = ShardMap(paths, n_nodes, salt=salt)
+    b = ShardMap(list(paths), n_nodes, salt=salt)
+    assert dict(a.assignments()) == dict(b.assignments())
+    assert [a.shard(n) for n in range(n_nodes)] == [b.shard(n) for n in range(n_nodes)]
+    # place() stays total (and in range) even off the catalog
+    assert 0 <= a.place("/definitely/not/in/catalog") < n_nodes
+
+
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=0, max_value=2**32),
+)
+@settings(max_examples=30)
+def test_shard_map_spread_is_bounded(n_nodes, salt):
+    """Catalogs much larger than the node count stay roughly balanced.
+
+    128 paths per node keeps binomial fluctuation far away from the 2.5×
+    max/min bound; a violation would mean the placement hash is skewed.
+    """
+    from repro.cluster import ShardMap
+
+    paths = [f"/data/train/{i:06d}" for i in range(128 * n_nodes)]
+    smap = ShardMap(paths, n_nodes, salt=salt)
+    assert min(smap.shard_sizes()) > 0
+    assert smap.spread() <= 2.5
+    assert smap.imbalance() <= 1.6

@@ -110,3 +110,93 @@ def test_invalid_construction():
         DistributedFilesystem(sim, n_targets=0)
     with pytest.raises(ValueError):
         DistributedFilesystem(sim, rpc_latency=-1.0)
+
+
+# ---------------------------------------------------------------- placement
+# Direct coverage for the OST hash-placement convention the peer-serving
+# cluster's ShardMap reuses: stability, totality, and counter accounting.
+def test_hash_placement_stable_across_instances():
+    paths = [f"/data/{i:05d}" for i in range(300)]
+
+    def build():
+        sim = Simulator()
+        pfs = DistributedFilesystem(sim, n_targets=5, target_profile=ramdisk())
+        pfs.create_many((p, 10) for p in paths)
+        return {p: pfs.target_of(p).index for p in paths}
+
+    assert build() == build(), "placement is a pure function of (path, n_targets)"
+
+
+def test_every_file_has_exactly_one_owner(pfs_env):
+    _, pfs = pfs_env
+    paths = [f"/data/{i:05d}" for i in range(200)]
+    pfs.create_many((p, 10) for p in paths)
+    owners = {p: pfs.target_of(p).index for p in paths}
+    assert set(owners) == set(paths)
+    assert all(0 <= idx < len(pfs.targets) for idx in owners.values())
+
+
+def test_per_target_file_count_accounting(pfs_env):
+    _, pfs = pfs_env
+    paths = [f"/data/{i:05d}" for i in range(200)]
+    pfs.create_many((p, 10) for p in paths)
+    by_target = {}
+    for p in paths:
+        idx = pfs.target_of(p).index
+        by_target[idx] = by_target.get(idx, 0) + 1
+    for target in pfs.targets:
+        assert target.file_count == by_target.get(target.index, 0)
+    assert sum(t.file_count for t in pfs.targets) == len(paths)
+
+
+def test_placement_matches_cluster_shard_map_convention(pfs_env):
+    """The cluster's ShardMap (salt=0) and the PFS agree on every owner."""
+    from repro.cluster import ShardMap
+
+    _, pfs = pfs_env
+    paths = [f"/data/{i:05d}" for i in range(128)]
+    pfs.create_many((p, 10) for p in paths)
+    smap = ShardMap(paths, n_nodes=len(pfs.targets))
+    for p in paths:
+        assert smap.owner_of(p) == pfs.target_of(p).index
+
+
+# ---------------------------------------------------------------- epoch ledger
+def test_epoch_ledger_counts_completed_reads(pfs_env):
+    sim, pfs = pfs_env
+    pfs.create("/a", 100)
+    pfs.create("/b", 100)
+    ev = pfs.read_file("/a")
+    # ledger entries land at read *completion*, not submission
+    assert pfs.epoch_read_count("/a") == 0
+    sim.run()
+    assert ev.value == 100
+    sim.run(until=pfs.read_file("/a"))
+    sim.run(until=pfs.read_file("/b"))
+    assert pfs.epoch_read_count("/a") == 2
+    assert pfs.epoch_read_count("/b") == 1
+    assert pfs.epoch_read_count("/never") == 0
+    assert pfs.epoch_reads == 3
+    assert pfs.epoch_unique_reads == 2
+    assert pfs.max_epoch_reads_per_path() == 2
+
+
+def test_begin_epoch_resets_ledger_only(pfs_env):
+    sim, pfs = pfs_env
+    pfs.create("/a", 64)
+    sim.run(until=pfs.read_file("/a"))
+    assert pfs.epoch_reads == 1
+    pfs.begin_epoch()
+    assert pfs.epoch_reads == 0
+    assert pfs.max_epoch_reads_per_path() == 0
+    # lifetime counters are not epoch-scoped
+    assert pfs.counters.get("reads") == 1
+
+
+def test_read_whole_is_a_full_read(pfs_env):
+    sim, pfs = pfs_env
+    pfs.create("/a", 4096)
+    ev = pfs.read_whole("/a")
+    sim.run()
+    assert ev.value == 4096
+    assert pfs.epoch_read_count("/a") == 1

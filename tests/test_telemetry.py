@@ -383,13 +383,14 @@ def test_internal_modules_do_not_use_legacy_paths():
 # ---------------------------------------------------------------- public API
 def test_subpackages_export_explicit_all():
     import repro
+    import repro.cluster
     import repro.core
     import repro.metrics
     import repro.simcore
     import repro.storage
     import repro.telemetry
 
-    for pkg in (repro, repro.core, repro.metrics, repro.simcore,
+    for pkg in (repro, repro.cluster, repro.core, repro.metrics, repro.simcore,
                 repro.storage, repro.telemetry):
         assert isinstance(getattr(pkg, "__all__", None), list), pkg.__name__
         for name in pkg.__all__:
