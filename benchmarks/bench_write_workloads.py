@@ -1,0 +1,147 @@
+"""Write-path gate: checkpoints must not starve the read path.
+
+ROADMAP item 4's acceptance gate, over the three storage deployments of
+the writes experiment (``posix-read``, ``posix-mixed``, ``object-mixed``):
+
+* **PRISMA wins everywhere** — ``prisma-async`` finishes training at
+  least ``MIN_SPEEDUP``x faster than the ``baseline-sync`` setup in every
+  config, including the object store reached purely through
+  ``BackendConfig(kind="object")``;
+* **async checkpointing recovers burst-window reads** — inside
+  checkpoint-write windows, the ``prisma-async`` setup sustains at least
+  ``MIN_BURST_RATIO``x the read throughput of ``prisma-sync`` in both
+  mixed (read+write) configs;
+* the whole matrix is byte-deterministic across two runs of one seed.
+
+All recorded quantities are *simulated*, so the gate is immune to host
+wall-clock noise.  Results land in ``BENCH_writes.json`` at the repo root.
+
+Run directly:  PYTHONPATH=src python benchmarks/bench_write_workloads.py
+Or via pytest: pytest benchmarks/bench_write_workloads.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.writes import run_write_workloads
+
+SEED = 0
+N_FILES = 640
+FILE_SIZE = 112 * 1024
+EPOCHS = 2
+CKPT_EVERY = 8
+CKPT_BYTES = 96_000_000
+
+#: prisma-async must beat baseline-sync end-to-end in every config.
+MIN_SPEEDUP = 1.1
+#: inside checkpoint bursts, async checkpointing must sustain >= 1.2x the
+#: read throughput of synchronous checkpointing (the interference claim).
+MIN_BURST_RATIO = 1.2
+#: configs where checkpoints actually fire (burst ratio is defined).
+MIXED_CONFIGS = ("posix-mixed", "object-mixed")
+
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_writes.json"
+
+
+def run_writes() -> dict:
+    kwargs = dict(
+        seed=SEED, n_files=N_FILES, file_size=FILE_SIZE, epochs=EPOCHS,
+        ckpt_every=CKPT_EVERY, ckpt_bytes=CKPT_BYTES,
+    )
+    report = run_write_workloads(**kwargs)
+    repeat = run_write_workloads(**kwargs)
+    deterministic = report.metrics_dict() == repeat.metrics_dict()
+
+    speedups = {}
+    burst_ratios = {}
+    for config in report.configs():
+        base = report.trial(config, "baseline-sync")
+        sync = report.trial(config, "prisma-sync")
+        async_ = report.trial(config, "prisma-async")
+        speedups[config] = (
+            base.sim_seconds / async_.sim_seconds if async_.sim_seconds > 0 else 0.0
+        )
+        if config in MIXED_CONFIGS and sync.burst_read_throughput > 0:
+            burst_ratios[config] = (
+                async_.burst_read_throughput / sync.burst_read_throughput
+            )
+    return {
+        "benchmark": "write_workloads",
+        "description": (
+            "Checkpoint write bursts contending with prefetch reads over "
+            "three config-selected backends (read-only POSIX, POSIX with "
+            "read/write interference, S3-like object store). Gates: "
+            "prisma-async beats baseline-sync everywhere, and async "
+            "checkpointing sustains >= 1.2x the burst-window read "
+            "throughput of sync. Simulated-time metrics: immune to host "
+            "wall-clock noise."
+        ),
+        "workload": (
+            f"run_write_workloads(seed={SEED}, n_files={N_FILES}, "
+            f"file_size={FILE_SIZE}, epochs={EPOCHS}, "
+            f"ckpt_every={CKPT_EVERY}, ckpt_bytes={CKPT_BYTES})"
+        ),
+        "deterministic": deterministic,
+        "speedups": speedups,
+        "burst_read_ratios": burst_ratios,
+        "min_speedup": MIN_SPEEDUP,
+        "min_burst_ratio": MIN_BURST_RATIO,
+        "report": report.metrics_dict(),
+    }
+
+
+def accept(report: dict) -> bool:
+    return (
+        report["deterministic"]
+        and len(report["speedups"]) == 3
+        and all(s >= report["min_speedup"] for s in report["speedups"].values())
+        and len(report["burst_read_ratios"]) == len(MIXED_CONFIGS)
+        and all(
+            r >= report["min_burst_ratio"]
+            for r in report["burst_read_ratios"].values()
+        )
+    )
+
+
+def write_report(report: dict, path: Path = OUTPUT) -> None:
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+# ---------------------------------------------------------------- pytest entry
+def test_write_workload_gates(once):
+    report = once(run_writes)
+    write_report(report)
+    assert report["deterministic"], "same seed must give byte-identical reports"
+    assert len(report["speedups"]) == 3
+    for config, speedup in report["speedups"].items():
+        assert speedup >= MIN_SPEEDUP, (
+            f"prisma-async only {speedup:.2f}x baseline-sync in {config}"
+        )
+    assert len(report["burst_read_ratios"]) == len(MIXED_CONFIGS)
+    for config, ratio in report["burst_read_ratios"].items():
+        assert ratio >= MIN_BURST_RATIO, (
+            f"async burst-window reads only {ratio:.2f}x sync in {config}"
+        )
+
+
+def main() -> int:
+    report = run_writes()
+    write_report(report)
+    for config, speedup in report["speedups"].items():
+        burst = report["burst_read_ratios"].get(config)
+        extra = f", burst reads {burst:.2f}x sync" if burst is not None else ""
+        print(f"{config}: prisma-async {speedup:.2f}x baseline-sync{extra}")
+    print(f"deterministic={report['deterministic']}")
+    print(f"wrote {OUTPUT}")
+    ok = accept(report)
+    print(
+        "acceptance (deterministic AND speedup >= %.2f AND burst ratio >= %.2f): %s"
+        % (MIN_SPEEDUP, MIN_BURST_RATIO, "PASS" if ok else "FAIL")
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,7 +15,7 @@ from repro.dataset import EpochShuffler, imagenet_like
 from repro.frameworks import GpuEnsemble, LENET, Trainer, TrainingConfig
 from repro.frameworks.tensorflow import tf_baseline
 from repro.simcore import RandomStreams, Simulator
-from repro.storage import BlockDevice, Filesystem, PosixLayer, intel_p4600
+from repro.storage import BackendConfig, PosixLayer, build_backend
 
 #: 1/200th of ImageNet: ~6.4k files, ~700 MB — still I/O-bound vs 4 GPUs.
 SCALE = 200
@@ -27,8 +27,9 @@ def build_environment(seed: int = 0):
     """Simulator + device + filesystem + dataset, shared by both setups."""
     streams = RandomStreams(seed)
     sim = Simulator()
-    device = BlockDevice(sim, intel_p4600())  # the paper's ABCI SSD
-    fs = Filesystem(sim, device)
+    # The paper's ABCI SSD, selected purely by config (swap in
+    # BackendConfig(kind="object") to train off an S3-like store instead).
+    fs = build_backend(sim, BackendConfig(device_profile="intel-p4600"))
     split = imagenet_like(streams, scale=SCALE)
     split.materialize(fs)
     posix = PosixLayer(sim, fs)

@@ -88,14 +88,13 @@ def quick_demo() -> str:
     from .frameworks.models import LENET, GpuEnsemble
     from .frameworks.tensorflow.pipeline import tf_baseline
     from .frameworks.training import Trainer, TrainingConfig
-    from .storage.device import BlockDevice, intel_p4600
-    from .storage.filesystem import Filesystem
+    from .storage.backend import BackendConfig, build_backend
     from .storage.posix import PosixLayer
 
     def run(prisma: bool) -> float:
         streams = RandomStreams(0)
         sim = Simulator()
-        fs = Filesystem(sim, BlockDevice(sim, intel_p4600()))
+        fs = build_backend(sim, BackendConfig(device_profile="intel-p4600"))
         split = tiny_dataset(streams, n_train=512, n_val=64)
         split.materialize(fs)
         posix = PosixLayer(sim, fs)

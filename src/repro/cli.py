@@ -7,6 +7,7 @@ Usage::
     python -m repro figure4 [--quick] [--workers 0 2 4 8 16]
     python -m repro ablation {autotune,device,period}
     python -m repro faults-demo [--seed N] [--files N]
+    python -m repro writes [--quick] [--files N] [--epochs N]
     python -m repro clairvoyant [--files N] [--epochs N] [--lookahead N]
     python -m repro cluster [--quick] [--nodes 128 256 512 1024] [--files N]
     python -m repro live-demo [--jobs N] [--files N] [--budget N]
@@ -235,6 +236,28 @@ def _cmd_faults_demo(args) -> int:
         _note(args, f"wrote {args.out}")
     print(format_fault_sweep(report))
     return 0 if report.completed else 1
+
+
+def _cmd_writes(args) -> int:
+    from .experiments.writes import run_write_workloads, format_writes
+
+    telemetry = _telemetry_for(args)
+    kwargs = dict(seed=args.seed, telemetry=telemetry)
+    if args.quick:
+        kwargs.update(n_files=320, epochs=1, ckpt_every=4, ckpt_bytes=48_000_000)
+    if args.files is not None:
+        kwargs["n_files"] = args.files
+    if args.epochs is not None:
+        kwargs["epochs"] = args.epochs
+    report = run_write_workloads(**kwargs)
+    _finish_trace(telemetry, args)
+    if args.out:
+        from .experiments.export import dump_json
+
+        dump_json(report.metrics_dict(), args.out)
+        _note(args, f"wrote {args.out}")
+    print(format_writes(report))
+    return 0
 
 
 def _cmd_cluster(args) -> int:
@@ -522,6 +545,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pf.add_argument("--files", type=int, default=600)
     pf.set_defaults(func=_cmd_faults_demo)
+
+    pw = sub.add_parser(
+        "writes", parents=[common],
+        help="checkpoint write traffic vs the read path, POSIX and object store",
+    )
+    pw.add_argument("--files", type=int, default=None, help="training files (default 640)")
+    pw.add_argument("--epochs", type=int, default=None, help="epochs (default 2)")
+    pw.add_argument(
+        "--quick", action="store_true", help="smaller matrix for a fast look"
+    )
+    pw.set_defaults(func=_cmd_writes)
 
     pcl = sub.add_parser(
         "cluster", parents=[common],

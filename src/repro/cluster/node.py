@@ -238,7 +238,7 @@ class ClusterMount(PosixLike):
     def _whole(self, path: str) -> Event:
         if self.node.shard_map.covers(path):
             return self.node.read(path)
-        return self.node.store.backing.read_file(path)
+        return self.node.store.backing.read_whole(path)
 
     def pread(self, fd: int, length: int, offset: int) -> Event:
         entry = self._entry(fd)

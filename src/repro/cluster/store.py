@@ -35,6 +35,7 @@ from .shard import ShardMap
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simcore.kernel import Simulator
+    from ..storage.backend import StorageBackend
 
 
 @dataclass(frozen=True)
@@ -97,13 +98,13 @@ class ClusterStore:
     def __init__(
         self,
         sim: "Simulator",
-        backing,
+        backing: "StorageBackend",
         paths: Iterable[str],
         config: ClusterConfig,
         name: str = "cluster",
     ) -> None:
         self.sim = sim
-        self.backing = backing
+        self.backing: "StorageBackend" = backing
         self.config = config
         self.name = name
         self.shard_map = ShardMap(paths, config.n_nodes, salt=config.salt)
@@ -160,7 +161,7 @@ class ClusterStore:
             tel.registry.counter(
                 "cluster.backing_reads_total", object=self.name
             ).inc()
-        return self.backing.read_file(path)
+        return self.backing.read_whole(path)
 
     # -- epoch accounting -------------------------------------------------------------
     def begin_epoch(self) -> None:

@@ -15,6 +15,8 @@ import warnings
 from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING, Optional, Tuple
 
+from ..storage.backend import BackendConfig, build_backend
+
 from .buffer import PrefetchBuffer
 from .control import (
     AutotuneParams,
@@ -106,6 +108,10 @@ class PrismaConfig:
     lookahead_epochs: int = 0
     #: optional node-local fast tier between the buffer and the backend
     tiering: Optional[TieringConfig] = None
+    #: optional storage-backend spec; when set, :func:`build_prisma` builds
+    #: the backend itself (POSIX filesystem or object store) instead of
+    #: being handed one — the config fully describes the deployment
+    backend: Optional[BackendConfig] = None
 
     def __post_init__(self) -> None:
         if self.control_period <= 0:
@@ -128,6 +134,10 @@ class PrismaConfig:
             raise ValueError(
                 f"tiering must be a TieringConfig, got {type(self.tiering).__name__}"
             )
+        if self.backend is not None and not isinstance(self.backend, BackendConfig):
+            raise ValueError(
+                f"backend must be a BackendConfig, got {type(self.backend).__name__}"
+            )
 
     def with_overrides(self, **overrides) -> "PrismaConfig":
         """A copy with the given fields replaced (sugar over ``replace``)."""
@@ -139,17 +149,23 @@ _LEGACY_BUILD_KWARGS = tuple(f.name for f in fields(PrismaConfig))
 
 def build_prisma(
     sim: "Simulator",
-    backend: "PosixLike",
+    backend: Optional["PosixLike"] = None,
     config: Optional[PrismaConfig] = None,
     **legacy,
 ) -> Tuple[PrismaStage, ParallelPrefetcher, Controller]:
     """Assemble a complete PRISMA stack over ``backend``.
 
     Returns ``(stage, prefetcher, controller)``; the controller is already
-    started.  Configuration comes as a :class:`PrismaConfig`; the
-    individual keyword arguments of earlier releases (``control_period``,
-    ``producers``, …) are still accepted for one release — they are folded
-    into a config and a :class:`DeprecationWarning` is emitted.
+    started.  ``backend`` may be any :class:`~repro.storage.posix.PosixLike`
+    built by the caller, **or** omitted when ``config.backend`` carries a
+    :class:`~repro.storage.backend.BackendConfig` — then the storage stack
+    (POSIX filesystem or object store, per ``kind``) is constructed here
+    and wrapped in a :class:`~repro.storage.posix.PosixLayer`; the built
+    backend is reachable as ``stage.backend.fs``.  Configuration comes as
+    a :class:`PrismaConfig`; the individual keyword arguments of earlier
+    releases (``control_period``, ``producers``, …) are still accepted for
+    one release — they are folded into a config and a
+    :class:`DeprecationWarning` is emitted.
     """
     if legacy:
         unknown = set(legacy) - set(_LEGACY_BUILD_KWARGS)
@@ -166,6 +182,18 @@ def build_prisma(
         config = PrismaConfig(**legacy)
     elif config is None:
         config = PrismaConfig()
+    if config.backend is not None:
+        if backend is not None:
+            raise ValueError(
+                "pass either a backend instance or PrismaConfig.backend, not both"
+            )
+        from ..storage.posix import PosixLayer
+
+        backend = PosixLayer(sim, build_backend(sim, config.backend))
+    elif backend is None:
+        raise ValueError(
+            "build_prisma needs a backend: pass one, or set PrismaConfig.backend"
+        )
     tiering = None
     prefetch_backend = backend
     if config.tiering is not None:

@@ -27,7 +27,7 @@ from ..telemetry.snapshot import MetricsSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simcore.kernel import Simulator
-    from ..storage.posix import PosixLike
+    from ..storage.backend import SampleSource
 
 __all__ = ["MetricsSnapshot", "OptimizationObject", "TuningSettings"]
 
@@ -49,7 +49,7 @@ class TuningSettings:
 class OptimizationObject(abc.ABC):
     """Base class for self-contained, controllable I/O optimizations."""
 
-    def __init__(self, sim: "Simulator", backend: "PosixLike", name: str) -> None:
+    def __init__(self, sim: "Simulator", backend: "SampleSource", name: str) -> None:
         self.sim = sim
         self.backend = backend
         self.name = name

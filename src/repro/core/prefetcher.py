@@ -61,7 +61,7 @@ def _validate_lookahead(value: object) -> int:
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simcore.kernel import Process, Simulator
-    from ..storage.posix import PosixLike
+    from ..storage.backend import SampleSource
 
 
 def _storage_error(exc: BaseException) -> Exception:
@@ -100,7 +100,7 @@ class ParallelPrefetcher(OptimizationObject):
     def __init__(
         self,
         sim: "Simulator",
-        backend: "PosixLike",
+        backend: "SampleSource",
         producers: int = 2,
         buffer_capacity: int = 256,
         max_producers: int = 16,

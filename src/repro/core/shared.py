@@ -31,7 +31,7 @@ from .optimization import MetricsSnapshot, OptimizationObject, TuningSettings
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simcore.kernel import Simulator
-    from ..storage.posix import PosixLike
+    from ..storage.backend import SampleSource
 
 
 class _SharedBuffer:
@@ -148,7 +148,7 @@ class SharedDatasetPrefetcher(OptimizationObject):
     def __init__(
         self,
         sim: "Simulator",
-        backend: "PosixLike",
+        backend: "SampleSource",
         consumers: int,
         producers: int = 2,
         buffer_capacity: int = 256,

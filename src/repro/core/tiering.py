@@ -46,42 +46,33 @@ discrete-byte convention — integers only, ``float("inf")``/NaN rejected.
 
 from __future__ import annotations
 
-import math
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Set
 
 from ..simcore.event import Event, chain_result
 from ..telemetry import CounterSet
+from ..storage.backend import validate_byte_count
 from ..storage.filesystem import Filesystem
 from .optimization import MetricsSnapshot, OptimizationObject, TuningSettings
 from .schedule import NEVER, LookaheadSchedule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simcore.kernel import Simulator
-    from ..storage.posix import PosixLike
+    from ..storage.backend import SampleSource
 
 
 def _validate_byte_capacity(value: object, name: str = "fast_capacity_bytes") -> int:
     """Normalize a byte capacity to a positive int.
 
-    Matches the discrete-capacity convention of
-    :class:`~repro.core.buffer.PrefetchBuffer`: byte accounting is integer
+    Thin wrapper over the protocol-level
+    :func:`~repro.storage.backend.validate_byte_count` (kept under its
+    historical name for existing callers): byte accounting is integer
     arithmetic, so ``bool``, NaN, infinities, and fractional floats are
     rejected; integral floats (a policy computing ``0.5 * total``) are
     normalized to int.
     """
-    if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise ValueError(f"{name} must be an int, got {value!r}")
-    if isinstance(value, float):
-        if not math.isfinite(value):
-            raise ValueError(f"{name} must be finite, got {value!r}")
-        if value != int(value):
-            raise ValueError(f"{name} must be a whole number of bytes, got {value!r}")
-        value = int(value)
-    if value <= 0:
-        raise ValueError(f"{name} must be positive")
-    return value
+    return validate_byte_count(value, name)
 
 
 @dataclass(frozen=True)
@@ -140,7 +131,7 @@ class TieringObject(OptimizationObject):
     def __init__(
         self,
         sim: "Simulator",
-        backend: "PosixLike",
+        backend: "SampleSource",
         fast_fs: Filesystem,
         fast_capacity_bytes: int,
         promote_after: int = 2,
@@ -182,7 +173,7 @@ class TieringObject(OptimizationObject):
             self.counters.add("fast_hits")
             if tel is not None:
                 tel.registry.counter("prisma.tier_hits_total", object=self.name).inc()
-            return self.fast_fs.read_file(self._tier_path(path))
+            return self.fast_fs.read_whole(self._tier_path(path))
         self.counters.add("slow_reads")
         if tel is not None:
             tel.registry.counter("prisma.tier_misses_total", object=self.name).inc()
@@ -216,7 +207,7 @@ class TieringObject(OptimizationObject):
             self.counters.add("fast_hits")
             if tel is not None:
                 tel.registry.counter("prisma.tier_hits_total", object=self.name).inc()
-            return self.fast_fs.read_file(self._tier_path(path))
+            return self.fast_fs.read_whole(self._tier_path(path))
         inflight = self._fetching.get(path)
         if inflight is not None:
             self.counters.add("coalesced_fetches")
@@ -410,7 +401,7 @@ class ClairvoyantTieringObject(TieringObject):
     def __init__(
         self,
         sim: "Simulator",
-        backend: "PosixLike",
+        backend: "SampleSource",
         fast_fs: Filesystem,
         fast_capacity_bytes: int,
         name: str = "prisma.tiering",

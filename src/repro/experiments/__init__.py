@@ -32,6 +32,15 @@ from .faults import FaultSweepReport, demo_plan, format_fault_sweep, run_fault_s
 from .figure2 import Figure2Cell, Figure2Result, run_figure2
 from .figure3 import Figure3Curve, Figure3Result, run_figure3
 from .figure4 import Figure4Cell, Figure4Result, run_figure4
+from .writes import (
+    WRITE_CONFIGS,
+    WRITE_SETUPS,
+    WriteTrialResult,
+    WriteWorkloadReport,
+    format_writes,
+    run_write_trial,
+    run_write_workloads,
+)
 from .report import format_ablation, format_figure2, format_figure3, format_figure4
 from .runner import TF_SETUPS, TORCH_SETUPS, TrialResult, run_tf_trial, run_torch_trial
 
@@ -42,6 +51,10 @@ __all__ = [
     "ClusterReport",
     "ExperimentScale",
     "FaultSweepReport",
+    "WRITE_CONFIGS",
+    "WRITE_SETUPS",
+    "WriteTrialResult",
+    "WriteWorkloadReport",
     "Figure2Cell",
     "Figure2Result",
     "Figure3Curve",
@@ -60,6 +73,7 @@ __all__ = [
     "format_clairvoyant",
     "format_cluster_sweep",
     "format_fault_sweep",
+    "format_writes",
     "format_figure2",
     "format_figure3",
     "format_figure4",
@@ -72,5 +86,7 @@ __all__ = [
     "run_figure4",
     "run_tf_trial",
     "run_torch_trial",
+    "run_write_trial",
+    "run_write_workloads",
     "test_scale",
 ]

@@ -41,8 +41,7 @@ from ..faults import (
 )
 from ..simcore import AllOf, AnyOf, Simulator
 from ..simcore.random import RandomStreams
-from ..storage.device import BlockDevice, intel_p4600
-from ..storage.filesystem import Filesystem
+from ..storage.backend import BackendConfig, build_backend
 from ..storage.posix import PosixLayer
 
 KiB = 1024
@@ -146,8 +145,8 @@ def run_fault_sweep(
     sim = Simulator()
     if telemetry is not None:
         telemetry.attach(sim, process=f"fault-sweep/seed{seed}")
-    device = BlockDevice(sim, intel_p4600(), streams=streams)
-    fs = Filesystem(sim, device)
+    fs = build_backend(sim, BackendConfig(device_profile="intel-p4600"), streams=streams)
+    device = fs.device
     paths = [f"/data/train/{i:06d}" for i in range(n_files)]
     fs.create_many((p, file_size) for p in paths)
     posix = PosixLayer(sim, fs)

@@ -32,8 +32,7 @@ from ..frameworks.tensorflow.pipeline import TFDataPipeline, tf_baseline, tf_opt
 from ..frameworks.training import Trainer, TrainingConfig, TrainingResult
 from ..simcore.kernel import Simulator
 from ..simcore.random import RandomStreams
-from ..storage.device import BlockDevice
-from ..storage.filesystem import Filesystem
+from ..storage.backend import BackendConfig, build_backend
 from ..storage.posix import PosixLayer
 from .config import ExperimentScale, HardwareProfile, abci_node
 
@@ -81,8 +80,9 @@ class _Env:
 def _build_env(hardware: HardwareProfile, scale: ExperimentScale, seed: int) -> _Env:
     streams = RandomStreams(seed)
     sim = Simulator()
-    device = BlockDevice(sim, hardware.device, streams=streams)
-    fs = Filesystem(sim, device)
+    fs = build_backend(
+        sim, BackendConfig(device_profile=hardware.device), streams=streams
+    )
     split = imagenet_like(streams, scale=scale.scale)
     split.materialize(fs)
     posix = PosixLayer(sim, fs)

@@ -2,11 +2,25 @@
 
 Models the I/O stack under the DL frameworks: block devices with realistic
 concurrency scaling (:mod:`.device`, :mod:`.fluid`), an LRU page cache
-(:mod:`.cache`), a filesystem namespace (:mod:`.filesystem`), the POSIX
-interception seam PRISMA hooks (:mod:`.posix`), and a shared distributed
-PFS for multi-tenant scenarios (:mod:`.distributed`).
+(:mod:`.cache`), a filesystem namespace (:mod:`.filesystem`), an S3-like
+object store (:mod:`.object_store`), the POSIX interception seam PRISMA
+hooks (:mod:`.posix`), and a shared distributed PFS for multi-tenant
+scenarios (:mod:`.distributed`).
+
+All backends implement the :class:`~repro.storage.backend.StorageBackend`
+protocol (:mod:`.backend`), and :func:`~repro.storage.backend.build_backend`
+constructs any of them from a validated
+:class:`~repro.storage.backend.BackendConfig`.
 """
 
+from .backend import (
+    BACKEND_KINDS,
+    BackendConfig,
+    SampleSource,
+    StorageBackend,
+    build_backend,
+    validate_byte_count,
+)
 from .cache import PageCache
 from .device import (
     GiB,
@@ -33,9 +47,18 @@ from .filesystem import (
     TransientReadError,
 )
 from .fluid import FairShareChannel, constant_capacity, saturating_capacity
+from .object_store import (
+    OBJECT_PROFILES,
+    ObjectStore,
+    ObjectStoreProfile,
+    premium_object,
+    s3_like,
+)
 from .posix import BadFileDescriptor, PosixLayer, PosixLike
 
 __all__ = [
+    "BACKEND_KINDS",
+    "BackendConfig",
     "BadFileDescriptor",
     "BlockDevice",
     "DeviceProfile",
@@ -49,19 +72,28 @@ __all__ = [
     "InvalidRead",
     "KiB",
     "MiB",
+    "OBJECT_PROFILES",
+    "ObjectStore",
+    "ObjectStoreProfile",
     "PROFILES",
     "PageCache",
     "PosixLayer",
     "PosixLike",
     "ReadFault",
+    "SampleSource",
     "SimFile",
+    "StorageBackend",
     "StorageError",
     "StorageTarget",
     "TransientReadError",
+    "build_backend",
     "constant_capacity",
     "intel_p4600",
     "nvme_gen4",
+    "premium_object",
     "ramdisk",
+    "s3_like",
     "sata_hdd",
     "saturating_capacity",
+    "validate_byte_count",
 ]

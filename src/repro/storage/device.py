@@ -76,6 +76,15 @@ class DeviceProfile:
     sequential_read_bandwidth: float = 0.0
     #: Reads at least this large use the sequential channel.
     large_read_threshold: int = 4 * 1024 * 1024
+    #: Fraction of *random-read* bandwidth lost while at least one write is
+    #: in flight (mixed-workload interference: SSD reads slow down behind
+    #: program/erase cycles and shared controller queues).  Large
+    #: sequential streams keep their own channel — the penalty models the
+    #: small-random-read data path checkpoints actually contend with.
+    #: 0 keeps reads and writes fully independent — the read-only
+    #: calibration regime of the stock presets; the write-path experiments
+    #: opt in explicitly.
+    mixed_write_penalty: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_read_bandwidth <= 0 or self.max_write_bandwidth <= 0:
@@ -92,6 +101,8 @@ class DeviceProfile:
             raise ValueError("sequential_read_bandwidth must be >= 0")
         if self.large_read_threshold < 1:
             raise ValueError("large_read_threshold must be >= 1")
+        if not 0.0 <= self.mixed_write_penalty < 1.0:
+            raise ValueError("mixed_write_penalty must be in [0, 1)")
 
     def effective_sequential_bandwidth(self) -> float:
         return self.sequential_read_bandwidth or self.max_read_bandwidth
@@ -251,6 +262,8 @@ class BlockDevice:
         self.counters = CounterSet()
         #: current read-bandwidth scale (1.0 = healthy; see degrade_reads)
         self.read_degradation = 1.0
+        #: writes currently in flight (drives mixed-workload interference)
+        self._writes_in_flight = 0
 
     # -- helpers --------------------------------------------------------------
     def _latency(self, base: float) -> float:
@@ -330,13 +343,41 @@ class BlockDevice:
         )
 
     def write(self, nbytes: float, weight: float = 1.0) -> Event:
-        """Write ``nbytes``; the event value is the total service time."""
+        """Write ``nbytes``; the event value is the total service time.
+
+        On profiles with a ``mixed_write_penalty``, reads run at reduced
+        bandwidth while any write is in flight (and recover when the last
+        one lands) — the read/write interference checkpoint bursts inflict
+        on the data path.
+        """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         self.counters.add("writes")
         self.counters.add("write_bytes", nbytes)
-        return self._request(
+        request = self._request(
             self._write_channel, self.profile.write_latency, nbytes, weight, op="write"
+        )
+        if self.profile.mixed_write_penalty > 0:
+            self._writes_in_flight += 1
+            if self._writes_in_flight == 1:
+                self._apply_read_capacity()
+            request.add_callback(self._write_landed)
+        return request
+
+    def _write_landed(self, _ev: Event) -> None:
+        self._writes_in_flight -= 1
+        if self._writes_in_flight == 0:
+            self._apply_read_capacity()
+
+    def _apply_read_capacity(self) -> None:
+        """Recompute read bandwidth from degradation x write interference."""
+        scale = self.read_degradation
+        if self._writes_in_flight > 0:
+            scale *= 1.0 - self.profile.mixed_write_penalty
+        self._read_channel.set_capacity_fn(
+            saturating_capacity(
+                self.profile.max_read_bandwidth * scale, self.profile.read_kappa
+            )
         )
 
     def degrade_reads(self, factor: float) -> None:
@@ -351,11 +392,7 @@ class BlockDevice:
         if factor <= 0:
             raise ValueError("factor must be positive")
         self.read_degradation = factor
-        self._read_channel.set_capacity_fn(
-            saturating_capacity(
-                self.profile.max_read_bandwidth * factor, self.profile.read_kappa
-            )
-        )
+        self._apply_read_capacity()
 
     def restore_reads(self) -> None:
         """Undo :meth:`degrade_reads`: back to the profile's full bandwidth."""

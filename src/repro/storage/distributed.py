@@ -22,6 +22,7 @@ portability property the paper's data plane claims.
 from __future__ import annotations
 
 import hashlib
+import warnings
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from ..simcore.event import Event, chain_result
@@ -123,6 +124,13 @@ class DistributedFilesystem:
         self.stat(path)
         return self.targets[self._placement[path]]
 
+    def unlink(self, path: str) -> None:
+        if path not in self._files:
+            raise FileNotFound(path)
+        del self._files[path]
+        self.targets[self._placement.pop(path)].file_count -= 1
+        self.cache.invalidate(path)
+
     def list_prefix(self, prefix: str) -> List[str]:
         return sorted(p for p in self._files if p.startswith(prefix))
 
@@ -145,37 +153,102 @@ class DistributedFilesystem:
         done = Event(self.sim, name=f"pfsread:{path}")
 
         def read_process():
-            yield self.sim.timeout(self.rpc_latency)
-            if nbytes == 0:
-                return 0
-            fault = self.fault_hook(path, nbytes) if self.fault_hook is not None else None
-            if fault is not None:
-                if fault.extra_latency > 0:
-                    yield self.sim.timeout(fault.extra_latency)
-                if fault.error is not None:
-                    raise fault.error
-            yield target.device.read(nbytes)
-            yield self.network.transfer(nbytes)
+            tel = self.sim.telemetry
+            span = None
+            if tel is not None:
+                span = tel.begin(
+                    "pfs.read", f"storage.{self.name}", "storage", lane=True,
+                    path=path, bytes=nbytes,
+                )
+            try:
+                yield self.sim.timeout(self.rpc_latency)
+                if nbytes == 0:
+                    if span is not None:
+                        tel.end(span, outcome="empty")
+                    return 0
+                fault = self.fault_hook(path, nbytes) if self.fault_hook is not None else None
+                if fault is not None:
+                    if fault.extra_latency > 0:
+                        yield self.sim.timeout(fault.extra_latency)
+                    if fault.error is not None:
+                        raise fault.error
+                yield target.device.read(nbytes)
+                yield self.network.transfer(nbytes)
+            except BaseException as exc:
+                if span is not None:
+                    tel.end(span, outcome="error", error=type(exc).__name__)
+                raise
             self.counters.add("reads")
             self.counters.add("read_bytes", nbytes)
             self._epoch_reads[path] = self._epoch_reads.get(path, 0) + 1
+            if span is not None:
+                tel.end(span, outcome="ost")
             return nbytes
 
         proc = self.sim.process(read_process(), name=f"pfsread:{path}")
         return chain_result(proc, done)
 
-    def read_file(self, path: str) -> Event:
-        return self.read(path, 0, None)
-
     def read_whole(self, path: str) -> Event:
-        """Whole-file read under the prefetcher/tiering backend protocol.
+        """Whole-file read — the canonical spelling of the backend protocol.
 
-        Alias of :meth:`read_file` so a :class:`DistributedFilesystem` can
-        sit directly under a :class:`~repro.core.tiering.TieringObject` or
-        prefetcher without a POSIX adapter — the peer-serving cluster mounts
-        it this way.
+        A :class:`DistributedFilesystem` can sit directly under a
+        :class:`~repro.core.tiering.TieringObject` or prefetcher without a
+        POSIX adapter — the peer-serving cluster mounts it this way.
         """
         return self.read(path, 0, None)
+
+    def read_file(self, path: str) -> Event:
+        """Deprecated alias of :meth:`read_whole` (pre-protocol spelling)."""
+        warnings.warn(
+            "DistributedFilesystem.read_file() is deprecated; use read_whole()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.read_whole(path)
+
+    def write(self, path: str, nbytes: int, offset: int = 0) -> Event:
+        """Write (extend) a file on its owning OST; event value = bytes.
+
+        The write-path mirror of :meth:`read`: RPC latency, then the bytes
+        cross the shared network link and stream onto the target device —
+        so checkpoint uploads contend with concurrent reads for both.
+        """
+        meta = self.stat(path)
+        if offset < 0 or nbytes < 0:
+            raise InvalidRead(f"invalid write range for {path!r}")
+        target = self.targets[self._placement[path]]
+        done = Event(self.sim, name=f"pfswrite:{path}")
+
+        def write_process():
+            tel = self.sim.telemetry
+            span = None
+            if tel is not None:
+                span = tel.begin(
+                    "pfs.write", f"storage.{self.name}", "storage", lane=True,
+                    path=path, bytes=nbytes,
+                )
+            try:
+                yield self.sim.timeout(self.rpc_latency)
+                if nbytes > 0:
+                    yield self.network.transfer(nbytes)
+                    yield target.device.write(nbytes)
+                    meta.size = max(meta.size, offset + nbytes)
+                    self.cache.invalidate(path)
+            except BaseException as exc:
+                if span is not None:
+                    tel.end(span, outcome="error", error=type(exc).__name__)
+                raise
+            self.counters.add("writes")
+            self.counters.add("write_bytes", nbytes)
+            if tel is not None:
+                tel.registry.counter(
+                    "storage.write_bytes_total", object=self.name
+                ).inc(nbytes)
+                tel.end(span, outcome="ost")
+            return nbytes
+
+        proc = self.sim.process(write_process(), name=f"pfswrite:{path}")
+        return chain_result(proc, done)
 
     # -- aggregate cache accounting ----------------------------------------------
     def begin_epoch(self) -> None:
@@ -201,6 +274,12 @@ class DistributedFilesystem:
         return max(self._epoch_reads.values(), default=0)
 
     # -- observability -----------------------------------------------------------
+    def bytes_read(self) -> float:
+        return sum(t.device.bytes_read() for t in self.targets)
+
+    def bytes_written(self) -> float:
+        return sum(t.device.bytes_written() for t in self.targets)
+
     def load_imbalance(self) -> float:
         """max/mean ratio of per-OST file counts (1.0 = perfectly even)."""
         counts = [t.file_count for t in self.targets]

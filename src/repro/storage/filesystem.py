@@ -8,6 +8,7 @@ through the same machinery the benchmarks use.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
 
@@ -199,9 +200,22 @@ class Filesystem:
         proc = self.sim.process(read_process(), name=f"fsread:{path}")
         return chain_result(proc, done)
 
-    def read_file(self, path: str) -> Event:
-        """Whole-file read (the DL sample-loading operation)."""
+    def read_whole(self, path: str) -> Event:
+        """Whole-file read (the DL sample-loading operation).
+
+        The canonical whole-file spelling of the
+        :class:`~repro.storage.backend.StorageBackend` protocol.
+        """
         return self.read(path, 0, None)
+
+    def read_file(self, path: str) -> Event:
+        """Deprecated alias of :meth:`read_whole` (pre-protocol spelling)."""
+        warnings.warn(
+            "Filesystem.read_file() is deprecated; use read_whole()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.read_whole(path)
 
     def write(self, path: str, nbytes: int, offset: int = 0) -> Event:
         """Write (extend) a file; event value = bytes written."""
@@ -211,16 +225,41 @@ class Filesystem:
         done = Event(self.sim, name=f"fswrite:{path}")
 
         def write_process():
-            if nbytes > 0:
-                yield self.device.write(nbytes)
-                meta.size = max(meta.size, offset + nbytes)
-                self.cache.invalidate(path)
-            else:
-                yield self.sim.timeout(1e-6)
+            tel = self.sim.telemetry
+            span = None
+            if tel is not None:
+                span = tel.begin(
+                    "fs.write", f"storage.{self.name}", "storage", lane=True,
+                    path=path, bytes=nbytes,
+                )
+            try:
+                if nbytes > 0:
+                    yield self.device.write(nbytes)
+                    meta.size = max(meta.size, offset + nbytes)
+                    self.cache.invalidate(path)
+                else:
+                    yield self.sim.timeout(1e-6)
+            except BaseException as exc:
+                if span is not None:
+                    tel.end(span, outcome="error", error=type(exc).__name__)
+                raise
+            if tel is not None:
+                tel.registry.counter(
+                    "storage.write_bytes_total", object=self.name
+                ).inc(nbytes)
+                tel.end(span, outcome="device")
             return nbytes
 
         proc = self.sim.process(write_process(), name=f"fswrite:{path}")
         return chain_result(proc, done)
+
+    # -- observability ------------------------------------------------------------
+    def bytes_read(self) -> float:
+        """Cumulative bytes the device served for reads (cache hits excluded)."""
+        return self.device.bytes_read()
+
+    def bytes_written(self) -> float:
+        return self.device.bytes_written()
 
     def __repr__(self) -> str:
         return f"<Filesystem {self.name!r} files={len(self._files)}>"

@@ -15,10 +15,11 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict
 
 from ..simcore.event import Event, chain_result
-from .filesystem import Filesystem, StorageError
+from .filesystem import StorageError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simcore.kernel import Simulator
+    from .backend import StorageBackend
 
 
 class BadFileDescriptor(StorageError):
@@ -62,9 +63,16 @@ class _OpenFile:
 
 
 class PosixLayer(PosixLike):
-    """Direct (un-intercepted) POSIX access to a :class:`Filesystem`."""
+    """Direct (un-intercepted) POSIX access to any storage backend.
 
-    def __init__(self, sim: "Simulator", fs: Filesystem) -> None:
+    Only the protocol's ``stat`` and ``read`` operations are used, so the
+    same facade serves a local :class:`~repro.storage.filesystem.Filesystem`,
+    a :class:`~repro.storage.distributed.DistributedFilesystem`, or an
+    :class:`~repro.storage.object_store.ObjectStore` (ranged GETs back
+    ``pread``) — frameworks keep their POSIX habits over all of them.
+    """
+
+    def __init__(self, sim: "Simulator", fs: "StorageBackend") -> None:
         self.sim = sim
         self.fs = fs
         self._next_fd = 3  # 0/1/2 reserved, as in the real table

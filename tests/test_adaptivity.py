@@ -81,7 +81,7 @@ def test_device_degradation_slows_reads():
 
         def reader():
             for i in range(100):
-                yield fs.read_file(f"/f{i}")
+                yield fs.read_whole(f"/f{i}")
 
         p = sim.process(reader())
         sim.run(until=p)

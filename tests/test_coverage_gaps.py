@@ -84,11 +84,11 @@ def test_write_invalidates_cache():
     fs.create("/a", 100)
 
     def scenario():
-        yield fs.read_file("/a")  # populate cache
+        yield fs.read_whole("/a")  # populate cache
         assert "/a" in cache
         yield fs.write("/a", 50, offset=100)
         assert "/a" not in cache  # invalidated
-        yield fs.read_file("/a")
+        yield fs.read_whole("/a")
         return fs.stat("/a").size
 
     p = sim.process(scenario())

@@ -35,8 +35,8 @@ def test_large_reads_use_sequential_channel():
     fs.create("/small", 100 * 1024)
 
     def scenario():
-        yield fs.read_file("/small")
-        yield fs.read_file("/big")
+        yield fs.read_whole("/small")
+        yield fs.read_whole("/big")
 
     p = sim.process(scenario())
     sim.run(until=p)
@@ -56,7 +56,7 @@ def test_sequential_bandwidth_exceeds_random():
 
         def reader():
             for i in range(len(sizes)):
-                yield fs.read_file(f"/f{i}")
+                yield fs.read_whole(f"/f{i}")
 
         p = sim.process(reader())
         sim.run(until=p)
@@ -91,7 +91,7 @@ def test_hdd_seeks_serialize():
         def reader():
             while work:
                 i = work.pop()
-                yield fs.read_file(f"/f{i}")
+                yield fs.read_whole(f"/f{i}")
 
         for _ in range(readers):
             sim.process(reader())
@@ -116,7 +116,7 @@ def test_ssd_seeks_overlap():
         def reader():
             while work:
                 i = work.pop()
-                yield fs.read_file(f"/f{i}")
+                yield fs.read_whole(f"/f{i}")
 
         for _ in range(readers):
             sim.process(reader())

@@ -223,7 +223,7 @@ def test_filesystem_fault_hook_injects_error_and_latency():
     fs.fault_hook = lambda path, nbytes: (
         ReadFault(error=TransientReadError(path)) if path == "/a" else None
     )
-    out = _drive(sim, lambda: (yield fs.read_file("/a")))
+    out = _drive(sim, lambda: (yield fs.read_whole("/a")))
     assert isinstance(out["exc"].__cause__, TransientReadError)
 
     # Latency-only fault: read succeeds but pays the extra delay.
@@ -231,12 +231,12 @@ def test_filesystem_fault_hook_injects_error_and_latency():
     healthy_dev = BlockDevice(healthy_sim, intel_p4600())
     healthy_fs = Filesystem(healthy_sim, healthy_dev)
     healthy_fs.create("/b", 64 * KiB)
-    _drive(healthy_sim, lambda: (yield healthy_fs.read_file("/b")))
+    _drive(healthy_sim, lambda: (yield healthy_fs.read_whole("/b")))
     baseline = healthy_sim.now
 
     fs.fault_hook = lambda path, nbytes: ReadFault(extra_latency=5e-3)
     start = sim.now
-    out = _drive(sim, lambda: (yield fs.read_file("/b")))
+    out = _drive(sim, lambda: (yield fs.read_whole("/b")))
     assert "exc" not in out
     assert sim.now - start == pytest.approx(baseline + 5e-3)
 

@@ -52,7 +52,7 @@ def test_read_includes_rpc_latency():
         sim, n_targets=1, target_profile=ramdisk(), rpc_latency=1e-3
     )
     pfs.create("/a", 1)
-    ev = pfs.read_file("/a")
+    ev = pfs.read_whole("/a")
     sim.run()
     assert ev.value == 1
     assert sim.now >= 1e-3
@@ -84,7 +84,7 @@ def test_network_is_shared_bottleneck():
             pfs.create(f"/f{i}", 4 * MiB)
 
         def client(i):
-            yield pfs.read_file(f"/f{i}")
+            yield pfs.read_whole(f"/f{i}")
 
         for i in range(32):
             sim.process(client(i))
@@ -166,13 +166,13 @@ def test_epoch_ledger_counts_completed_reads(pfs_env):
     sim, pfs = pfs_env
     pfs.create("/a", 100)
     pfs.create("/b", 100)
-    ev = pfs.read_file("/a")
+    ev = pfs.read_whole("/a")
     # ledger entries land at read *completion*, not submission
     assert pfs.epoch_read_count("/a") == 0
     sim.run()
     assert ev.value == 100
-    sim.run(until=pfs.read_file("/a"))
-    sim.run(until=pfs.read_file("/b"))
+    sim.run(until=pfs.read_whole("/a"))
+    sim.run(until=pfs.read_whole("/b"))
     assert pfs.epoch_read_count("/a") == 2
     assert pfs.epoch_read_count("/b") == 1
     assert pfs.epoch_read_count("/never") == 0
@@ -184,7 +184,7 @@ def test_epoch_ledger_counts_completed_reads(pfs_env):
 def test_begin_epoch_resets_ledger_only(pfs_env):
     sim, pfs = pfs_env
     pfs.create("/a", 64)
-    sim.run(until=pfs.read_file("/a"))
+    sim.run(until=pfs.read_whole("/a"))
     assert pfs.epoch_reads == 1
     pfs.begin_epoch()
     assert pfs.epoch_reads == 0

@@ -82,7 +82,7 @@ def test_negative_size_rejected(fs_env):
 def test_read_whole_file_returns_size(fs_env):
     sim, _, fs = fs_env
     fs.create("/a", 5000)
-    ev = fs.read_file("/a")
+    ev = fs.read_whole("/a")
     sim.run()
     assert ev.value == 5000
 
@@ -115,7 +115,7 @@ def test_read_negative_offset_rejected(fs_env):
 def test_read_takes_simulated_time(fs_env):
     sim, _, fs = fs_env
     fs.create("/a", 10 * MiB)
-    ev = fs.read_file("/a")
+    ev = fs.read_whole("/a")
     sim.run()
     assert ev.ok
     assert sim.now > 0
@@ -127,7 +127,7 @@ def test_larger_reads_take_longer():
         sim = Simulator()
         fs = Filesystem(sim, BlockDevice(sim, intel_p4600()))
         fs.create("/a", size)
-        fs.read_file("/a")
+        fs.read_whole("/a")
         sim.run()
         times.append(sim.now)
     assert times[1] > times[0]
@@ -151,10 +151,10 @@ def test_cache_hit_faster_than_miss():
 
     def scenario():
         t0 = sim.now
-        yield fs.read_file("/a")
+        yield fs.read_whole("/a")
         miss_time = sim.now - t0
         t0 = sim.now
-        yield fs.read_file("/a")
+        yield fs.read_whole("/a")
         hit_time = sim.now - t0
         return miss_time, hit_time
 
@@ -193,8 +193,8 @@ def test_cache_disabled_never_hits():
     fs.create("/a", 1000)
 
     def scenario():
-        yield fs.read_file("/a")
-        yield fs.read_file("/a")
+        yield fs.read_whole("/a")
+        yield fs.read_whole("/a")
 
     sim.process(scenario())
     sim.run()
@@ -299,7 +299,7 @@ def test_p4600_parallel_scaling_anchor():
 def test_device_counters(fs_env):
     sim, dev, fs = fs_env
     fs.create("/a", 100)
-    fs.read_file("/a")
+    fs.read_whole("/a")
     sim.run()
     assert dev.counters.get("reads") == 1
     assert dev.counters.get("read_bytes") == 100
