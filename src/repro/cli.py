@@ -12,6 +12,7 @@ Usage::
     python -m repro cluster [--quick] [--nodes 128 256 512 1024] [--files N]
     python -m repro live-demo [--jobs N] [--files N] [--budget N]
     python -m repro trace --experiment figure2 --out trace.json
+    python -m repro profile simcore [--top N] [--sort cumulative|tottime|ncalls]
     python -m repro demo
 
 (or the installed ``prisma-repro`` script).
@@ -468,6 +469,69 @@ def _cmd_demo(_args) -> int:
     return 0
 
 
+#: Named profiling workloads: name -> (description, zero-arg callable).
+#: Each runs a bounded, deterministic simulation heavy enough for a
+#: meaningful cProfile picture (a few hundred thousand kernel events).
+def _profile_workloads():
+    def simcore():
+        from .simcore import Simulator
+        from .simcore.workloads import canonical_mixed_workload
+
+        sim = Simulator()
+        canonical_mixed_workload(sim, scale=8)
+        sim.run()
+
+    def cluster():
+        from .experiments.cluster import run_cluster_serving
+
+        run_cluster_serving(n_nodes=64, n_files=512, epochs=2)
+
+    def writes():
+        from .experiments.writes import run_write_workloads
+
+        run_write_workloads(n_files=320, epochs=1, ckpt_every=4,
+                            ckpt_bytes=48_000_000)
+
+    def clairvoyant():
+        from .experiments.clairvoyant import run_clairvoyant_comparison
+
+        run_clairvoyant_comparison(n_files=200, epochs=3, lookahead_epochs=2)
+
+    def figure2():
+        from .experiments import figure2_scale
+        from .experiments.runner import run_tf_trial
+        from .frameworks.models import LENET
+
+        run_tf_trial("tf-prisma", LENET, 256, figure2_scale(quick=True), seed=0)
+
+    return {
+        "simcore": ("canonical mixed kernel workload (scale=8)", simcore),
+        "cluster": ("peer-to-peer serving, 64 nodes / 512 files", cluster),
+        "writes": ("checkpoint write workloads, 320 files", writes),
+        "clairvoyant": ("reactive vs clairvoyant tiering comparison", clairvoyant),
+        "figure2": ("one quick-scale tf-prisma trial", figure2),
+    }
+
+
+def _cmd_profile(args) -> int:
+    """cProfile a named benchmark workload; print the hottest functions."""
+    code = _reject_unsupported(args, "profile")
+    if code is not None:
+        return code
+    import cProfile
+    import pstats
+
+    description, fn = _profile_workloads()[args.workload]
+    _note(args, f"profiling {args.workload!r}: {description}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
 def _shared_flags() -> argparse.ArgumentParser:
     """Parent parser carried by every experiment subcommand."""
     common = argparse.ArgumentParser(add_help=False)
@@ -612,6 +676,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     pd = sub.add_parser("demo", help="tiny PRISMA-vs-baseline smoke demo")
     pd.set_defaults(func=_cmd_demo)
+
+    pp = sub.add_parser(
+        "profile", parents=[common],
+        help="cProfile a named benchmark workload, dump the hottest functions",
+    )
+    pp.add_argument(
+        "workload",
+        choices=["simcore", "cluster", "writes", "clairvoyant", "figure2"],
+        help="which canonical workload to profile",
+    )
+    pp.add_argument(
+        "--top", type=int, default=25, metavar="N",
+        help="number of functions to print (default 25)",
+    )
+    pp.add_argument(
+        "--sort", choices=["cumulative", "tottime", "ncalls"],
+        default="cumulative", help="pstats sort key (default cumulative)",
+    )
+    pp.set_defaults(func=_cmd_profile)
     return parser
 
 

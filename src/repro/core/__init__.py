@@ -7,12 +7,10 @@ chiefly the :class:`ParallelPrefetcher`), the control plane
 (:mod:`repro.core.integrations`).
 
 :func:`build_prisma` wires a complete SDS stack in one call; it is
-configured with a typed :class:`PrismaConfig` (the bare keyword arguments
-of earlier releases still work but emit a :class:`DeprecationWarning`).
+configured with a typed :class:`PrismaConfig`.
 """
 
-import warnings
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Optional, Tuple
 
 from ..storage.backend import BackendConfig, build_backend
@@ -144,14 +142,10 @@ class PrismaConfig:
         return replace(self, **overrides)
 
 
-_LEGACY_BUILD_KWARGS = tuple(f.name for f in fields(PrismaConfig))
-
-
 def build_prisma(
     sim: "Simulator",
     backend: Optional["PosixLike"] = None,
     config: Optional[PrismaConfig] = None,
-    **legacy,
 ) -> Tuple[PrismaStage, ParallelPrefetcher, Controller]:
     """Assemble a complete PRISMA stack over ``backend``.
 
@@ -161,26 +155,10 @@ def build_prisma(
     :class:`~repro.storage.backend.BackendConfig` — then the storage stack
     (POSIX filesystem or object store, per ``kind``) is constructed here
     and wrapped in a :class:`~repro.storage.posix.PosixLayer`; the built
-    backend is reachable as ``stage.backend.fs``.  Configuration comes as
-    a :class:`PrismaConfig`; the individual keyword arguments of earlier
-    releases (``control_period``, ``producers``, …) are still accepted for
-    one release — they are folded into a config and a
-    :class:`DeprecationWarning` is emitted.
+    backend is reachable as ``stage.backend.fs``.  All tuning comes in as
+    a :class:`PrismaConfig`.
     """
-    if legacy:
-        unknown = set(legacy) - set(_LEGACY_BUILD_KWARGS)
-        if unknown:
-            raise TypeError(f"build_prisma() got unexpected keyword arguments {sorted(unknown)}")
-        if config is not None:
-            raise ValueError("pass either a PrismaConfig or legacy keyword arguments, not both")
-        warnings.warn(
-            "build_prisma(**kwargs) is deprecated; pass a PrismaConfig instead, "
-            "e.g. build_prisma(sim, backend, PrismaConfig(control_period=...))",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        config = PrismaConfig(**legacy)
-    elif config is None:
+    if config is None:
         config = PrismaConfig()
     if config.backend is not None:
         if backend is not None:

@@ -12,13 +12,9 @@ auto-tuner and the graceful-degradation wrapper), per-stage bounded
 :class:`~.monitor.MetricsHistory`, and the :class:`~.rpc.ControlChannel`
 linking planes (typed failures, retry with backoff under a time budget).
 
-``MetricsSnapshot`` — the monitoring record stages report — now lives in
-:mod:`repro.telemetry` (re-exported by :mod:`repro.core`); importing it
-from here still works for one release but emits a
-:class:`DeprecationWarning`.
+``MetricsSnapshot`` — the monitoring record stages report — lives in
+:mod:`repro.telemetry` (re-exported by :mod:`repro.core`).
 """
-
-import warnings
 
 from .controller import Controller
 from .kernel import (
@@ -53,20 +49,6 @@ from .rpc import (
     RpcTimeout,
     RpcTransportError,
 )
-
-
-def __getattr__(name):
-    if name == "MetricsSnapshot":
-        warnings.warn(
-            "repro.core.control.MetricsSnapshot is deprecated; "
-            "import it from repro.telemetry (or repro.core) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from ...telemetry import MetricsSnapshot
-
-        return MetricsSnapshot
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [

@@ -4,11 +4,8 @@ Run statistics matching the paper's methodology (:mod:`.summary`) and the
 time-weighted CDF machinery behind Figure 3 (:mod:`.cdf`).
 
 The latency-recording classes (``LatencyRecorder``, ``LatencySummary``)
-moved to :mod:`repro.telemetry`; importing them from here still works for
-one release but emits a :class:`DeprecationWarning`.
+live in :mod:`repro.telemetry`.
 """
-
-import warnings
 
 from .cdf import DiscreteCDF, cdf_from_histogram, empirical_cdf, thread_usage_ratio
 from .timeseries import bin_rate, percentile_table
@@ -22,27 +19,9 @@ from .summary import (
     speedup,
 )
 
-_MOVED_TO_TELEMETRY = ("LatencyRecorder", "LatencySummary")
-
-
-def __getattr__(name):
-    if name in _MOVED_TO_TELEMETRY:
-        warnings.warn(
-            f"repro.metrics.{name} is deprecated; import it from repro.telemetry instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from .. import telemetry
-
-        return getattr(telemetry, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
 __all__ = [
     "Comparison",
     "DiscreteCDF",
-    "LatencyRecorder",
-    "LatencySummary",
     "RunStats",
     "aggregate_by_key",
     "bin_rate",

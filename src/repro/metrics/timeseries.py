@@ -1,38 +1,19 @@
 """Time-series utilities: rate binning and percentile tables.
 
-The latency-recording classes that used to live here
-(:class:`~repro.telemetry.LatencyRecorder`,
-:class:`~repro.telemetry.LatencySummary`) moved into the unified
-:mod:`repro.telemetry` subsystem; importing them from this module still
-works for one release but emits a :class:`DeprecationWarning`.  The pure
-post-processing helpers (:func:`bin_rate`, :func:`percentile_table`) stay.
+The latency-recording classes (:class:`~repro.telemetry.LatencyRecorder`,
+:class:`~repro.telemetry.LatencySummary`) live in the unified
+:mod:`repro.telemetry` subsystem; this module keeps only the pure
+post-processing helpers (:func:`bin_rate`, :func:`percentile_table`).
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..telemetry import LatencyRecorder
-
-_MOVED = ("LatencyRecorder", "LatencySummary")
-
-
-def __getattr__(name: str):
-    if name in _MOVED:
-        warnings.warn(
-            f"repro.metrics.timeseries.{name} is deprecated; "
-            f"import it from repro.telemetry instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from .. import telemetry
-
-        return getattr(telemetry, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def bin_rate(

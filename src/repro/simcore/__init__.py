@@ -4,21 +4,20 @@ The kernel is the substrate for every simulated component in this
 reproduction (storage devices, DL framework pipelines, the PRISMA data and
 control planes).  It provides:
 
-* :class:`Simulator` — the event loop and clock.
+* :class:`Simulator` — the slot-scheduled event loop and clock: a FIFO
+  slot per timestamp, an immediate queue for the current time, and a heap
+  of distinct future timestamps (see DESIGN.md on kernel internals).
 * :class:`Process` — generator-based cooperative processes.
 * Events: :class:`Event`, :class:`Timeout`, :class:`AnyOf`, :class:`AllOf`.
 * Resources: :class:`Store`, :class:`FilterStore`, :class:`KeyedStore`
   (O(1) key-addressed buffering over a :class:`KeyedIndex`),
-  :class:`Resource`, :class:`Lock`, :class:`Container`.
+  :class:`Resource`, :class:`Lock`, :class:`Container`.  Pending
+  operations are :class:`RequestEvent`\\ s with an explicit run-queue
+  state (``WAITING``/``READY``/``RUNNING``/``CANCELLED``).
 * :class:`RandomStreams` — named deterministic RNG streams.
 
-The telemetry names that used to live here (``Tracer``,
-``TimeWeightedGauge``, ``CounterSet``, …) moved to :mod:`repro.telemetry`;
-importing them from ``repro.simcore`` still works for one release but
-emits a :class:`DeprecationWarning`.
+The telemetry primitives live in :mod:`repro.telemetry`.
 """
-
-import warnings
 
 from .errors import (
     DuplicateKeyError,
@@ -34,6 +33,10 @@ from .event import AllOf, AnyOf, Event, Timeout
 from .kernel import Process, Simulator
 from .random import RandomStreams
 from .resources import (
+    CANCELLED,
+    READY,
+    RUNNING,
+    WAITING,
     Container,
     FilterStore,
     KeyedIndex,
@@ -41,39 +44,24 @@ from .resources import (
     KeyedStoreGet,
     KeyedStorePut,
     Lock,
+    RequestEvent,
     Resource,
     ResourceRequest,
     Store,
     StoreGet,
     StorePut,
 )
-_MOVED_TO_TELEMETRY = ("CounterSet", "GaugeSample", "TimeWeightedGauge", "Tracer", "TraceRecord")
-
-
-def __getattr__(name):
-    if name in _MOVED_TO_TELEMETRY:
-        warnings.warn(
-            f"repro.simcore.{name} is deprecated; import it from repro.telemetry instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from .. import telemetry
-
-        return getattr(telemetry, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CANCELLED",
     "Container",
-    "CounterSet",
     "DuplicateKeyError",
     "DuplicateRequestError",
     "Event",
     "EventAlreadyTriggered",
     "FilterStore",
-    "GaugeSample",
     "Interrupt",
     "KeyedIndex",
     "KeyedStore",
@@ -82,7 +70,10 @@ __all__ = [
     "Lock",
     "Process",
     "ProcessError",
+    "READY",
+    "RUNNING",
     "RandomStreams",
+    "RequestEvent",
     "Resource",
     "ResourceRequest",
     "SchedulingError",
@@ -93,7 +84,5 @@ __all__ = [
     "StoreGet",
     "StorePut",
     "Timeout",
-    "TimeWeightedGauge",
-    "TraceRecord",
-    "Tracer",
+    "WAITING",
 ]

@@ -79,7 +79,7 @@ class Event:
     # -- triggering ---------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger successfully with ``value`` and enqueue for processing."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._value = value
         self.sim._enqueue_now(self)
@@ -87,7 +87,7 @@ class Event:
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger with an exception; waiters will have it re-raised."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -111,7 +111,6 @@ class Event:
     def _process(self) -> None:
         """Run callbacks (kernel-internal)."""
         callbacks, self.callbacks = self.callbacks, None
-        assert callbacks is not None
         for fn in callbacks:
             fn(self)
 
@@ -159,14 +158,25 @@ class Timeout(Event):
             from .errors import SchedulingError
 
             raise SchedulingError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"timeout({delay:g})")
+        # Note: no formatted per-instance name — timeouts are the kernel's
+        # highest-volume allocation and the f-string dominated their cost;
+        # __repr__ renders the delay lazily instead.
+        super().__init__(sim)
         self.delay = float(delay)
         self._pending_value = value
         self.sim._enqueue_at(self.sim.now + self.delay, self)
 
     def _process(self) -> None:
         self._value = self._pending_value
-        super()._process()
+        callbacks, self.callbacks = self.callbacks, None
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<Timeout({self.delay:g}) {state} at t={self.sim.now:.6g}>"
 
 
 class AnyOf(Event):
@@ -179,7 +189,7 @@ class AnyOf(Event):
     __slots__ = ("events",)
 
     def __init__(self, sim: "Simulator", events: List[Event]) -> None:
-        super().__init__(sim, name=f"any_of[{len(events)}]")
+        super().__init__(sim, name="any_of")
         self.events = list(events)
         if not self.events:
             self._value = {}
@@ -206,7 +216,7 @@ class AllOf(Event):
     __slots__ = ("events", "_remaining")
 
     def __init__(self, sim: "Simulator", events: List[Event]) -> None:
-        super().__init__(sim, name=f"all_of[{len(events)}]")
+        super().__init__(sim, name="all_of")
         self.events = list(events)
         self._remaining = len(self.events)
         if self._remaining == 0:

@@ -1,19 +1,34 @@
 """The simulation kernel: event loop, processes, and the simulator facade.
 
 The kernel implements cooperative, generator-based processes scheduled by a
-binary-heap event queue.  Time is a float in *seconds* by convention of this
+*slot* scheduler.  Time is a float in *seconds* by convention of this
 repository (storage latencies are microseconds = 1e-6).
 
-Determinism: the heap orders by ``(time, sequence)``, where ``sequence`` is a
-monotonically increasing integer, so same-time events are processed in
-scheduling order.  Combined with the seeded RNG streams in
-:mod:`repro.simcore.random`, whole experiments replay bit-identically.
+Scheduler layout (the hot path of every benchmark in this repository):
+
+* ``_now_queue`` — a FIFO of the events at the **current** timestamp.  All
+  immediate scheduling (``succeed``/``fail`` via ``_enqueue_now``,
+  zero-delay timeouts, process bootstraps, interrupt wake-ups) appends
+  here directly and never touches the heap.
+* ``_slots`` — ``time -> deque`` for strictly-future timestamps.  Events
+  scheduled at the same future time share one slot deque in scheduling
+  order, so the heap holds one entry per *distinct* timestamp instead of
+  one per event.
+* ``_times`` — a binary heap of the distinct future timestamps.
+
+Determinism contract: events fire in ``(time, slot-FIFO)`` order — the
+clock advances through timestamps in ascending order, and all events at
+one timestamp fire in the order they were scheduled.  This is exactly the
+ordering of the previous ``(time, sequence)`` heap (kept as a reference
+implementation in :mod:`repro.simcore._heapkernel` for differential
+testing), so whole experiments replay bit-identically across both.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, Iterable, List, Optional
 
 from .errors import (
     Interrupt,
@@ -25,6 +40,25 @@ from .event import AllOf, AnyOf, Event, Timeout
 
 #: Type alias for process generator functions.
 ProcessGenerator = Generator[Event, Any, Any]
+
+
+class _Resume:
+    """A queue entry that resumes a process directly — no Event needed.
+
+    Process bootstraps and interrupt wake-ups used to allocate a full
+    :class:`Event` (callbacks list, formatted name, triggered-state
+    bookkeeping) whose only purpose was to call ``process._resume`` once.
+    This replaces them with the smallest thing the scheduler can hold: an
+    object whose ``_process`` resumes the generator with ``None``.
+    """
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process") -> None:
+        self.process = process
+
+    def _process(self) -> None:
+        self.process._resume(None)
 
 
 class Process(Event):
@@ -50,11 +84,9 @@ class Process(Event):
         #: its first yield — throwing into an unstarted generator would
         #: raise at the def line, outside any try/except in the body.
         self._started = False
-        # Bootstrap: resume the generator at time `now`.
-        boot = Event(sim, name=f"boot:{self.name}")
-        boot.callbacks.append(self._resume)
-        boot._value = None
-        sim._enqueue_now(boot)
+        # Bootstrap: resume the generator at time `now` via the immediate
+        # queue — same FIFO position a bootstrap Event used to get.
+        sim._now_queue.append(_Resume(self))
 
     @property
     def is_alive(self) -> bool:
@@ -70,33 +102,34 @@ class Process(Event):
         """
         if not self.is_alive:
             raise SchedulingError(f"cannot interrupt dead process {self.name!r}")
-        interrupt = Interrupt(cause)
-        self._interrupts.append(interrupt)
+        self._interrupts.append(Interrupt(cause))
         target = self._waiting_on
         if target is not None:
             # Detach from the event we were waiting on, resume immediately.
             self._waiting_on = None
-            if target.callbacks is not None and self._resume in target.callbacks:
-                target.callbacks.remove(self._resume)
-            wake = Event(self.sim, name=f"interrupt:{self.name}")
-            wake.callbacks.append(self._resume)
-            wake._value = None
-            self.sim._enqueue_now(wake)
+            if target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            self.sim._now_queue.append(_Resume(self))
 
     # -- kernel internals ----------------------------------------------------
-    def _resume(self, event: Event) -> None:
+    def _resume(self, event: Optional[Event]) -> None:
         """Advance the generator with the outcome of ``event``."""
         self._waiting_on = None
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
+        gen = self.generator
+        interrupts = self._interrupts
         try:
             while True:
-                if self._interrupts and self._started:
-                    exc: BaseException = self._interrupts.pop(0)
-                    target = self.generator.throw(exc)
+                if interrupts and self._started:
+                    target = gen.throw(interrupts.pop(0))
                 elif event is not None and event._exception is not None:
-                    target = self.generator.throw(event._exception)
+                    target = gen.throw(event._exception)
                 else:
-                    target = self.generator.send(event._value if event is not None else None)
+                    target = gen.send(event._value if event is not None else None)
                     self._started = True
                 # The generator yielded `target`; decide whether to suspend.
                 if not isinstance(target, Event):
@@ -104,17 +137,18 @@ class Process(Event):
                         f"process {self.name!r} yielded {target!r}; processes "
                         "must yield Event instances"
                     )
-                if self._interrupts:
+                if interrupts:
                     # An interrupt arrived before the process could suspend:
                     # deliver it at this yield point.
                     event = None
                     continue
-                if target.processed:
+                callbacks = target.callbacks
+                if callbacks is None:
                     # Already-processed event: continue synchronously.
                     event = target
                     continue
                 self._waiting_on = target
-                target.add_callback(self._resume)
+                callbacks.append(self._resume)
                 return
         except StopIteration as stop:
             self.succeed(stop.value)
@@ -125,15 +159,14 @@ class Process(Event):
             # is listening (silent failures hide bugs).
             self._exception_terminate(exc)
         finally:
-            self.sim._active_process = None
+            sim._active_process = None
 
     def _exception_terminate(self, exc: BaseException) -> None:
         err = ProcessError(f"process {self.name!r} failed: {exc!r}")
         err.__cause__ = exc
-        if self.callbacks:
-            self.fail(err)
-        else:
-            self.fail(err)
+        had_joiners = bool(self.callbacks)
+        self.fail(err)
+        if not had_joiners:
             # No joiner will ever observe this failure — crash the simulation
             # so the bug surfaces instead of silently losing a process.
             self.sim._defunct.append(err)
@@ -157,11 +190,18 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self.now: float = float(start_time)
-        self._heap: List[Tuple[float, int, Event]] = []
-        self._seq = 0
+        #: FIFO of events at the current timestamp (the active slot).
+        self._now_queue: Deque[Any] = deque()
+        #: Future timestamp -> FIFO slot of its events, in scheduling order.
+        self._slots: Dict[float, Deque[Any]] = {}
+        #: Heap of the distinct future timestamps with a pending slot.
+        self._times: List[float] = []
         self._active_process: Optional[Process] = None
         self._defunct: List[ProcessError] = []
         self._stopping = False
+        #: Events processed since construction (``run`` + ``step``); the
+        #: denominator of the BENCH_simcore events/sec metric.
+        self.events_processed = 0
         #: observability hook — a :class:`repro.telemetry.Telemetry` hub, or
         #: None (the default: instrumented layers skip all recording).  Set
         #: via ``Telemetry.attach(sim)``, never assigned directly.
@@ -187,18 +227,30 @@ class Simulator:
 
     # -- scheduling primitives (kernel-internal) ------------------------------
     def _enqueue_at(self, time: float, event: Event) -> None:
-        if time < self.now:
-            raise SchedulingError(
-                f"cannot schedule at t={time} before now={self.now}"
-            )
+        if event._scheduled:
+            raise SchedulingError(f"{event!r} is already scheduled")
+        if time <= self.now:
+            if time < self.now:
+                raise SchedulingError(
+                    f"cannot schedule at t={time} before now={self.now}"
+                )
+            # Current-timestamp fast path: straight onto the active slot.
+            event._scheduled = True
+            self._now_queue.append(event)
+            return
+        event._scheduled = True
+        slot = self._slots.get(time)
+        if slot is None:
+            self._slots[time] = slot = deque()
+            heapq.heappush(self._times, time)
+        slot.append(event)
+
+    def _enqueue_now(self, event: Event) -> None:
+        """Schedule at the current time — the no-heap immediate path."""
         if event._scheduled:
             raise SchedulingError(f"{event!r} is already scheduled")
         event._scheduled = True
-        heapq.heappush(self._heap, (time, self._seq, event))
-        self._seq += 1
-
-    def _enqueue_now(self, event: Event) -> None:
-        self._enqueue_at(self.now, event)
+        self._now_queue.append(event)
 
     # -- event factories -------------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -245,15 +297,23 @@ class Simulator:
     # -- event loop -------------------------------------------------------------
     def peek(self) -> float:
         """Time of the next event, or ``float('inf')`` if the queue is empty."""
-        return self._heap[0][0] if self._heap else float("inf")
+        if self._now_queue:
+            return self.now
+        times = self._times
+        return times[0] if times else float("inf")
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
-        if not self._heap:
-            raise SchedulingError("step() on an empty event queue")
-        time, _, event = heapq.heappop(self._heap)
-        self.now = time
-        event._process()
+        q = self._now_queue
+        if not q:
+            times = self._times
+            if not times:
+                raise SchedulingError("step() on an empty event queue")
+            t = heapq.heappop(times)
+            self._now_queue = q = self._slots.pop(t)
+            self.now = t
+        q.popleft()._process()
+        self.events_processed += 1
         if self._defunct:
             raise self._defunct.pop(0)
 
@@ -277,8 +337,10 @@ class Simulator:
                 raise SchedulingError(f"run(until={stop_time}) is in the past")
 
         self._stopping = False
+        if stop_event is None and stop_time is None:
+            return self._run_to_exhaustion()
         try:
-            while self._heap:
+            while self._now_queue or self._times:
                 if stop_event is not None and stop_event.triggered:
                     return stop_event.value
                 if stop_time is not None and self.peek() > stop_time:
@@ -298,3 +360,35 @@ class Simulator:
         if stop_time is not None:
             self.now = stop_time
         return None
+
+    def _run_to_exhaustion(self) -> None:
+        """The hot loop for ``run()`` with no stop condition.
+
+        Drains the active slot FIFO, then advances the clock to the next
+        slot, with everything the per-event path needs held in locals.
+        """
+        times = self._times
+        slots = self._slots
+        defunct = self._defunct
+        pop_time = heapq.heappop
+        processed = 0
+        try:
+            while True:
+                q = self._now_queue
+                if not q:
+                    if not times:
+                        return None
+                    t = pop_time(times)
+                    self._now_queue = q = slots.pop(t)
+                    self.now = t
+                while q:
+                    q.popleft()._process()
+                    processed += 1
+                    if defunct:
+                        raise defunct.pop(0)
+                    if self._stopping:
+                        return None
+        except StopSimulation:
+            return None
+        finally:
+            self.events_processed += processed

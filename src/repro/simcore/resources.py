@@ -43,6 +43,53 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .kernel import Simulator
 
 
+# -- run-queue states ----------------------------------------------------------
+#: Request is parked on a resource's waiter list; nothing has been handed
+#: to it yet.
+WAITING = "waiting"
+#: The resource handed the request its result and scheduled it on the
+#: kernel's immediate queue; it has not fired yet.
+READY = "ready"
+#: The request's callbacks are executing (or have executed) — the waiter
+#: resumed.
+RUNNING = "running"
+#: The request was withdrawn (``cancel_get``/``cancel``) before being served.
+CANCELLED = "cancelled"
+
+
+class RequestEvent(Event):
+    """An event on a resource's run queue, with an explicit lifecycle state.
+
+    Every pending store/resource operation moves ``WAITING → READY →
+    RUNNING`` (or to ``CANCELLED`` when withdrawn): a resource hands its
+    result to exactly one waiter, marking it READY as it schedules it on
+    the kernel's immediate queue, and the kernel marks it RUNNING when it
+    fires.  The states make waiter scheduling observable — diagnostics and
+    tests can distinguish "parked" from "woken but not yet resumed" —
+    without any extra queue structure beyond the per-key waiter lists.
+    """
+
+    __slots__ = ("state",)
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        super().__init__(sim, name)
+        self.state = WAITING
+
+    def succeed(self, value: Any = None) -> "Event":
+        Event.succeed(self, value)
+        self.state = READY
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        Event.fail(self, exception)
+        self.state = READY
+        return self
+
+    def _process(self) -> None:
+        self.state = RUNNING
+        Event._process(self)
+
+
 def _normalize_item_capacity(capacity: float) -> float:
     """Validate a discrete-store capacity and normalize it to an int.
 
@@ -61,23 +108,23 @@ def _normalize_item_capacity(capacity: float) -> float:
     return int(capacity)
 
 
-class StorePut(Event):
+class StorePut(RequestEvent):
     """Pending ``put`` request; triggers when the item is accepted."""
 
     __slots__ = ("item",)
 
     def __init__(self, store: "Store", item: Any) -> None:
-        super().__init__(store.sim, name=f"put:{store.name}")
+        super().__init__(store.sim, name=store._put_name)
         self.item = item
 
 
-class StoreGet(Event):
+class StoreGet(RequestEvent):
     """Pending ``get`` request; triggers with the retrieved item."""
 
     __slots__ = ("predicate",)
 
     def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]] = None) -> None:
-        super().__init__(store.sim, name=f"get:{store.name}")
+        super().__init__(store.sim, name=store._get_name)
         self.predicate = predicate
 
 
@@ -96,6 +143,10 @@ class Store:
         self.sim = sim
         self.capacity = _normalize_item_capacity(capacity)
         self.name = name
+        # Interned request-event names: computed once per store instead of
+        # one f-string per put/get on the hot path.
+        self._put_name = "put:" + name
+        self._get_name = "get:" + name
         self.items: Deque[Any] = deque()
         self._putters: Deque[StorePut] = deque()
         self._getters: Deque[StoreGet] = deque()
@@ -289,7 +340,7 @@ class KeyedIndex:
         return f"<KeyedIndex {len(self._entries)} keys>"
 
 
-class KeyedStorePut(Event):
+class KeyedStorePut(RequestEvent):
     """Pending keyed ``put``; triggers when the item is admitted.
 
     Fails with :class:`DuplicateKeyError` if the key is already buffered —
@@ -299,18 +350,18 @@ class KeyedStorePut(Event):
     __slots__ = ("key", "item")
 
     def __init__(self, store: "KeyedStore", key: Hashable, item: Any) -> None:
-        super().__init__(store.sim, name=f"kput:{store.name}")
+        super().__init__(store.sim, name=store._put_name)
         self.key = key
         self.item = item
 
 
-class KeyedStoreGet(Event):
+class KeyedStoreGet(RequestEvent):
     """Pending keyed ``get``; triggers with the item for its key."""
 
     __slots__ = ("key",)
 
     def __init__(self, store: "KeyedStore", key: Optional[Hashable]) -> None:
-        super().__init__(store.sim, name=f"kget:{store.name}")
+        super().__init__(store.sim, name=store._get_name)
         self.key = key
 
 
@@ -342,6 +393,8 @@ class KeyedStore(Store):
 
     def __init__(self, sim: "Simulator", capacity: float = float("inf"), name: str = "kstore") -> None:
         super().__init__(sim, capacity, name)
+        self._put_name = "kput:" + name
+        self._get_name = "kget:" + name
         self.index = KeyedIndex()
         self._waiters: Dict[Hashable, Deque[KeyedStoreGet]] = {}
         self._any_waiters: Deque[KeyedStoreGet] = deque()
@@ -406,9 +459,11 @@ class KeyedStore(Store):
         if event.key is None:
             try:
                 self._any_waiters.remove(event)
-                return
             except ValueError:
                 pass
+            else:
+                event.state = CANCELLED
+                return
         else:
             waiters = self._waiters.get(event.key)
             if waiters is not None:
@@ -419,6 +474,7 @@ class KeyedStore(Store):
                 else:
                     if not waiters:
                         del self._waiters[event.key]
+                    event.state = CANCELLED
                     return
         raise SimulationError(f"{event!r} is not waiting on {self.name!r}")
 
@@ -472,13 +528,13 @@ class KeyedStore(Store):
         )
 
 
-class ResourceRequest(Event):
+class ResourceRequest(RequestEvent):
     """Pending acquisition of a :class:`Resource` slot."""
 
     __slots__ = ("resource", "_issued_at")
 
     def __init__(self, resource: "Resource") -> None:
-        super().__init__(resource.sim, name=f"req:{resource.name}")
+        super().__init__(resource.sim, name=resource._req_name)
         self.resource = resource
         self._issued_at = resource.sim.now
 
@@ -504,6 +560,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._req_name = "req:" + name
         self.users: List[ResourceRequest] = []
         self.queue: Deque[ResourceRequest] = deque()
         # metering
@@ -561,6 +618,7 @@ class Resource:
             self.queue.remove(request)
         except ValueError:
             raise SimulationError(f"{request!r} is not queued on {self.name!r}") from None
+        request.state = CANCELLED
 
     def __repr__(self) -> str:
         return f"<Resource {self.name!r} {self.count}/{self.capacity} queue={len(self.queue)}>"
@@ -620,6 +678,8 @@ class Container:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._put_name = "cput:" + name
+        self._get_name = "cget:" + name
         self._level = float(init)
         self._putters: Deque[tuple[Event, float]] = deque()
         self._getters: Deque[tuple[Event, float]] = deque()
@@ -631,7 +691,7 @@ class Container:
     def put(self, amount: float) -> Event:
         if amount < 0:
             raise ValueError("amount must be non-negative")
-        event = Event(self.sim, name=f"cput:{self.name}")
+        event = Event(self.sim, name=self._put_name)
         self._putters.append((event, amount))
         self._dispatch()
         return event
@@ -641,7 +701,7 @@ class Container:
             raise ValueError("amount must be non-negative")
         if amount > self.capacity:
             raise ValueError(f"get({amount}) exceeds capacity {self.capacity}")
-        event = Event(self.sim, name=f"cget:{self.name}")
+        event = Event(self.sim, name=self._get_name)
         self._getters.append((event, amount))
         self._dispatch()
         return event

@@ -1,0 +1,124 @@
+"""Canonical kernel workloads: the substrate for BENCH_simcore and profiling.
+
+:func:`canonical_mixed_workload` exercises every scheduler path the real
+benchmarks hit — keyed producer/consumer hand-offs (the prefetch buffer
+shape), quantized same-timestamp timeout batches (device-model shape),
+short-lived process fan-out/fan-in (RPC/serve shape), zero-delay
+ping-pong (control-plane shape), timeout races (retry shape), and a
+contended :class:`~repro.simcore.resources.Resource` — using only the
+public facade, so it runs unchanged on the production slot kernel and on
+the reference heap kernel (:mod:`repro.simcore._heapkernel`).
+
+Everything is seeded and quantized: two runs on the same kernel fire the
+same events in the same order, which the benchmark asserts via the
+returned fingerprint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from .random import RandomStreams
+from .resources import KeyedStore, Resource
+
+#: Delay grid (seconds).  Coarse quantization forces heavy timestamp
+#: sharing, the case the slot scheduler is built for.
+_GRID = 0.001
+
+
+def canonical_mixed_workload(sim: Any, scale: int = 4) -> List[Tuple[str, float, int]]:
+    """Build the canonical mixed workload on ``sim``; returns the trace log.
+
+    ``sim`` is any kernel facade (``Simulator`` or ``HeapSimulator``).
+    The caller runs ``sim.run()``; afterwards the returned ``log`` — a
+    list of ``(tag, sim_time, detail)`` rows appended in execution order —
+    fingerprints the exact event-firing order for determinism checks.
+    """
+    streams = RandomStreams(0x5EED)
+    rng = streams.stream("simcore-bench")
+    log: List[Tuple[str, float, int]] = []
+
+    # 1. keyed pipeline: producers hand samples to key-addressed consumers.
+    store = KeyedStore(sim, capacity=32, name="pipe")
+    n_keys = 96 * scale
+    keys = list(range(n_keys))
+    delays = [int(rng.integers(1, 5)) * _GRID for _ in keys]
+
+    def producer(sim, chunk):
+        for k in chunk:
+            yield sim.timeout(delays[k])
+            yield store.put(k, k * 2)
+
+    def consumer(sim, chunk):
+        total = 0
+        for k in chunk:
+            item = yield store.get(k)
+            total += item
+        log.append(("pipe", sim.now, total))
+        return total
+
+    for part in range(6):
+        chunk = keys[part::6]
+        sim.process(producer(sim, chunk))
+        sim.process(consumer(sim, chunk))
+
+    # 2. device-shaped slot batches: many tickers on one quantized grid.
+    def ticker(sim, n, tid):
+        for _ in range(n):
+            yield sim.timeout(_GRID)
+        log.append(("tick", sim.now, tid))
+
+    for tid in range(8 * scale):
+        sim.process(ticker(sim, 60, tid))
+
+    # 3. fan-out/fan-in process churn (bootstrap + join cost).
+    def child(sim, d):
+        yield sim.timeout(d)
+        return d
+
+    def fanout(sim, rounds, fid):
+        for r in range(rounds):
+            kids = [sim.process(child(sim, (i % 3) * _GRID)) for i in range(8)]
+            yield sim.all_of(kids)
+        log.append(("fan", sim.now, fid))
+
+    for fid in range(3 * scale):
+        sim.process(fanout(sim, 12, fid))
+
+    # 4. zero-delay ping-pong: the immediate-queue fast path.
+    def pingpong(sim, n, pid):
+        for _ in range(n):
+            yield sim.timeout(0.0)
+        log.append(("ping", sim.now, pid))
+
+    for pid in range(4 * scale):
+        sim.process(pingpong(sim, 120, pid))
+
+    # 5. timeout races (RPC-retry shape): event vs deadline via any_of.
+    def racer(sim, n, rid):
+        wins = 0
+        for i in range(n):
+            ev = sim.event()
+            sim.at(sim.now + _GRID / 2, ev.succeed, i)
+            result = yield sim.any_of([ev, sim.timeout(_GRID * 2)])
+            wins += 1 if ev in result else 0
+        log.append(("race", sim.now, wins))
+
+    for rid in range(3 * scale):
+        sim.process(racer(sim, 30, rid))
+
+    # 6. contended resource (semaphore queue churn).
+    lanes = Resource(sim, capacity=4, name="lanes")
+
+    def worker(sim, n, wid):
+        for _ in range(n):
+            req = lanes.request()
+            yield req
+            yield sim.timeout(_GRID)
+            lanes.release(req)
+        log.append(("lane", sim.now, wid))
+
+    for wid in range(12 * scale):
+        sim.process(worker(sim, 25, wid))
+
+    return log

@@ -22,9 +22,8 @@ cluster backing store, checkpoint writer, experiment runners) types against
 the protocol, never a concrete class.  CI greps enforce that no consumer
 reintroduces an ``isinstance(..., Filesystem)`` check.
 
-Canonical read spelling: **``read_whole(path)``** is *the* whole-file read.
-The older ``read_file`` survives on each backend as a deprecation shim for
-one release.
+Canonical read spelling: **``read_whole(path)``** is *the* whole-file read
+(the pre-protocol ``read_file`` alias has been removed).
 
 :class:`BackendConfig` + :func:`build_backend` let configuration select the
 backend (``kind="posix"`` or ``"object"``) so callers — including

@@ -22,7 +22,6 @@ portability property the paper's data plane claims.
 from __future__ import annotations
 
 import hashlib
-import warnings
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from ..simcore.event import Event, chain_result
@@ -196,15 +195,6 @@ class DistributedFilesystem:
         POSIX adapter — the peer-serving cluster mounts it this way.
         """
         return self.read(path, 0, None)
-
-    def read_file(self, path: str) -> Event:
-        """Deprecated alias of :meth:`read_whole` (pre-protocol spelling)."""
-        warnings.warn(
-            "DistributedFilesystem.read_file() is deprecated; use read_whole()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.read_whole(path)
 
     def write(self, path: str, nbytes: int, offset: int = 0) -> Event:
         """Write (extend) a file on its owning OST; event value = bytes.

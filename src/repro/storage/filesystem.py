@@ -8,7 +8,6 @@ through the same machinery the benchmarks use.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
 
@@ -207,15 +206,6 @@ class Filesystem:
         :class:`~repro.storage.backend.StorageBackend` protocol.
         """
         return self.read(path, 0, None)
-
-    def read_file(self, path: str) -> Event:
-        """Deprecated alias of :meth:`read_whole` (pre-protocol spelling)."""
-        warnings.warn(
-            "Filesystem.read_file() is deprecated; use read_whole()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.read_whole(path)
 
     def write(self, path: str, nbytes: int, offset: int = 0) -> Event:
         """Write (extend) a file; event value = bytes written."""

@@ -22,7 +22,6 @@ experiments measure.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
@@ -222,15 +221,6 @@ class ObjectStore:
     def read_whole(self, path: str) -> Event:
         """Whole-object GET (the canonical sample-loading operation)."""
         return self.read(path, 0, None)
-
-    def read_file(self, path: str) -> Event:
-        """Deprecated alias of :meth:`read_whole` (pre-protocol spelling)."""
-        warnings.warn(
-            "ObjectStore.read_file() is deprecated; use read_whole()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.read_whole(path)
 
     def write(self, path: str, nbytes: int, offset: int = 0) -> Event:
         """A whole-object PUT; event value = bytes written.

@@ -8,7 +8,7 @@ the property that separates a control loop from a launch-time heuristic.
 
 import pytest
 
-from repro.core import build_prisma
+from repro.core import PrismaConfig, build_prisma
 from repro.dataset import tiny_dataset
 from repro.simcore import RandomStreams, Simulator
 from repro.storage import (
@@ -101,7 +101,7 @@ def test_tuner_grows_producers_after_degradation():
     split.materialize(fs)
     posix = PosixLayer(sim, fs)
     stage, prefetcher, controller = build_prisma(
-        sim, posix, control_period=2e-3, producers=2, max_producers=8
+        sim, posix, PrismaConfig(control_period=2e-3, producers=2, max_producers=8)
     )
     stage.load_epoch(split.train.filenames())
 

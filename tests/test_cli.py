@@ -78,3 +78,17 @@ def test_live_demo_global_controller(capsys, tmp_path):
 
 def test_live_demo_rejects_seed(capsys):
     assert main(["live-demo", "--seed", "7"]) == 2
+
+
+def test_profile_command_dumps_hot_functions(capsys):
+    assert main(["profile", "simcore", "--top", "5", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "cumulative" in out  # pstats sort header
+    assert "kernel.py" in out  # the kernel shows up in the hot list
+
+
+def test_profile_rejects_unknown_workload_and_shared_flags():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["profile", "everything"])
+    assert main(["profile", "simcore", "--seed", "7"]) == 2

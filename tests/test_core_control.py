@@ -8,6 +8,7 @@ from repro.core import (
     Controller,
     ParallelPrefetcher,
     PrismaAutotunePolicy,
+    PrismaConfig,
     PrismaStage,
     StaticPolicy,
     TuningSettings,
@@ -264,7 +265,7 @@ def make_stack(profile=None, policy=None, period=1e-3):
     split.materialize(fs)
     posix = PosixLayer(sim, fs)
     stage, prefetcher, controller = build_prisma(
-        sim, posix, control_period=period, policy=policy
+        sim, posix, PrismaConfig(control_period=period, policy=policy)
     )
     return sim, stage, prefetcher, controller, split
 

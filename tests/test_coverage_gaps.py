@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.integrations import PrismaUDSServer, PrismaTorchClient
-from repro.core import build_prisma
+from repro.core import PrismaConfig, build_prisma
 from repro.dataset import tiny_dataset
 from repro.experiments import ExperimentScale, run_torch_trial
 from repro.frameworks import GpuEnsemble, LENET
@@ -104,7 +104,7 @@ def test_uds_backlog_tracks_queue_depth():
     split = tiny_dataset(streams, n_train=8, n_val=2)
     split.materialize(fs)
     posix = PosixLayer(sim, fs)
-    stage, pf, ctl = build_prisma(sim, posix, control_period=1e3)
+    stage, pf, ctl = build_prisma(sim, posix, PrismaConfig(control_period=1e3))
     server = PrismaUDSServer(sim, stage, service_time=1e-3)
     client = PrismaTorchClient(sim, server, lambda p: 0, client_overhead=0.0)
     stage.load_epoch(split.train.filenames())

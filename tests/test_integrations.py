@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import build_prisma
+from repro.core import PrismaConfig, build_prisma
 from repro.core.integrations import (
     PrismaTensorFlowPipeline,
     PrismaTorchClient,
@@ -32,7 +32,7 @@ def make_env(n_train=48):
 # ---------------------------------------------------------------- TF binding
 def test_tf_binding_full_training_run():
     sim, posix, split = make_env()
-    stage, pf, ctl = build_prisma(sim, posix, control_period=1e-3)
+    stage, pf, ctl = build_prisma(sim, posix, PrismaConfig(control_period=1e-3))
     train = PrismaTensorFlowPipeline(
         sim, split.train, SequentialOrder(len(split.train)), 8, stage, LENET
     )
@@ -52,7 +52,7 @@ def test_tf_binding_full_training_run():
 
 def test_tf_binding_shares_epoch_order_with_stage():
     sim, posix, split = make_env(n_train=16)
-    stage, pf, ctl = build_prisma(sim, posix, control_period=1e-3)
+    stage, pf, ctl = build_prisma(sim, posix, PrismaConfig(control_period=1e-3))
     train = PrismaTensorFlowPipeline(
         sim, split.train, SequentialOrder(16), 4, stage, LENET
     )
@@ -81,7 +81,7 @@ def test_tf_integration_loc_close_to_paper():
 # ---------------------------------------------------------------- UDS server/client
 def test_uds_roundtrip_serves_bytes():
     sim, posix, split = make_env(n_train=8)
-    stage, pf, ctl = build_prisma(sim, posix, control_period=1e-3)
+    stage, pf, ctl = build_prisma(sim, posix, PrismaConfig(control_period=1e-3))
     server = PrismaUDSServer(sim, stage)
     client = PrismaTorchClient(
         sim, server, lambda p: split.train.size(int(p.rsplit("/", 1)[1]))
@@ -96,7 +96,7 @@ def test_uds_roundtrip_serves_bytes():
 
 def test_uds_server_serializes_service_time():
     sim, posix, split = make_env(n_train=8)
-    stage, pf, ctl = build_prisma(sim, posix, control_period=1e3)  # inert
+    stage, pf, ctl = build_prisma(sim, posix, PrismaConfig(control_period=1e3))  # inert
     server = PrismaUDSServer(sim, stage, service_time=1.0)
     client = PrismaTorchClient(
         sim, server, lambda p: 0, client_overhead=0.0
@@ -111,7 +111,7 @@ def test_uds_server_serializes_service_time():
 
 def test_uds_client_metadata_is_local():
     sim, posix, split = make_env(n_train=4)
-    stage, pf, ctl = build_prisma(sim, posix, control_period=1e3)
+    stage, pf, ctl = build_prisma(sim, posix, PrismaConfig(control_period=1e3))
     server = PrismaUDSServer(sim, stage)
     sizes = {split.train.path(i): split.train.size(i) for i in range(4)}
     client = PrismaTorchClient(sim, server, lambda p: sizes[p])
@@ -125,7 +125,7 @@ def test_uds_client_metadata_is_local():
 
 def test_uds_client_pread_clamps(env=None):
     sim, posix, split = make_env(n_train=4)
-    stage, pf, ctl = build_prisma(sim, posix, control_period=1e3)
+    stage, pf, ctl = build_prisma(sim, posix, PrismaConfig(control_period=1e3))
     server = PrismaUDSServer(sim, stage)
     client = PrismaTorchClient(sim, server, lambda p: split.train.size(0))
     stage.load_epoch(split.train.filenames())
@@ -138,7 +138,7 @@ def test_uds_client_pread_clamps(env=None):
 
 def test_uds_invalid_args():
     sim, posix, split = make_env(n_train=4)
-    stage, pf, ctl = build_prisma(sim, posix, control_period=1e3)
+    stage, pf, ctl = build_prisma(sim, posix, PrismaConfig(control_period=1e3))
     with pytest.raises(ValueError):
         PrismaUDSServer(sim, stage, service_time=-1.0)
     server = PrismaUDSServer(sim, stage)
@@ -149,7 +149,7 @@ def test_uds_invalid_args():
 
 def test_torch_binding_full_training_run():
     sim, posix, split = make_env(n_train=64)
-    stage, pf, ctl = build_prisma(sim, posix, control_period=1e-3)
+    stage, pf, ctl = build_prisma(sim, posix, PrismaConfig(control_period=1e-3))
     server = PrismaUDSServer(sim, stage)
     factory = make_torch_posix_factory(
         sim, server, lambda p: split.train.size(int(p.rsplit("/", 1)[1]))

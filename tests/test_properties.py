@@ -10,6 +10,7 @@ from repro.core import (
     FilenameQueue,
     PrefetchBuffer,
     PrismaAutotunePolicy,
+    PrismaConfig,
     build_prisma,
 )
 from repro.faults import (
@@ -282,8 +283,12 @@ def test_chaos_invariants_under_random_fault_plans(seed):
     paths = [f"/d/{i:04d}" for i in range(60)]
     fs.create_many((p, 32 * 1024) for p in paths)
     stage, pf, controller = build_prisma(
-        sim, PosixLayer(sim, fs), control_period=5e-3,
-        policy=DegradedModePolicy(PrismaAutotunePolicy()),
+        sim,
+        PosixLayer(sim, fs),
+        PrismaConfig(
+            control_period=5e-3,
+            policy=DegradedModePolicy(PrismaAutotunePolicy()),
+        ),
     )
     injector = FaultInjector(sim, streams=streams)
     injector.attach_device(device)

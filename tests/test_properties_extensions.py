@@ -8,7 +8,8 @@ from hypothesis import strategies as st
 from repro.core.shared import _SharedBuffer
 from repro.distributed import StepBarrier, allreduce_cost
 from repro.frameworks import LENET
-from repro.metrics.timeseries import LatencyRecorder, bin_rate
+from repro.metrics.timeseries import bin_rate
+from repro.telemetry import LatencyRecorder
 from repro.simcore import Simulator
 from repro.traces import Trace, TraceRecord
 

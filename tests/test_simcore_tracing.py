@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.simcore import CounterSet, RandomStreams, Simulator, TimeWeightedGauge, Tracer
+from repro.simcore import RandomStreams, Simulator
+from repro.telemetry import CounterSet, TimeWeightedGauge, Tracer
 
 
 # ---------------------------------------------------------------- Tracer

@@ -187,14 +187,10 @@ def test_backend_timing_is_deterministic(kind):
 
 # ---------------------------------------------------------------- deprecations
 @pytest.mark.parametrize("kind", KINDS)
-def test_read_file_is_a_deprecation_shim(kind):
+def test_read_file_shim_is_gone(kind):
     sim = Simulator()
     backend = make_backend(kind, sim)
-    backend.create("/old", 4 * KiB)
-    with pytest.warns(DeprecationWarning, match="read_whole"):
-        ev = backend.read_file("/old")
-    out = _drive(sim, lambda: (yield ev))
-    assert out["value"] == 4 * KiB
+    assert not hasattr(backend, "read_file")
 
 
 # ---------------------------------------------------------------- validation

@@ -304,22 +304,10 @@ def test_build_prisma_accepts_typed_config():
     controller.stop()
 
 
-def test_build_prisma_legacy_kwargs_warn_but_work():
+def test_build_prisma_rejects_legacy_kwargs():
     sim, posix, _ = _tiny_stack()
-    with pytest.warns(DeprecationWarning, match="PrismaConfig"):
-        stage, prefetcher, controller = build_prisma(sim, posix, control_period=0.02)
-    assert controller.period == 0.02
-    controller.stop()
-
-
-def test_build_prisma_rejects_mixed_and_unknown_kwargs():
-    sim, posix, _ = _tiny_stack()
-    with pytest.raises(ValueError, match="not both"):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore")
-            build_prisma(sim, posix, PrismaConfig(), control_period=0.02)
-    with pytest.raises(TypeError, match="bogus"):
-        build_prisma(sim, posix, bogus=1)
+    with pytest.raises(TypeError):
+        build_prisma(sim, posix, control_period=0.02)
 
 
 def test_prisma_config_validates_fields():
@@ -332,31 +320,24 @@ def test_prisma_config_validates_fields():
     assert PrismaConfig().with_overrides(buffer_capacity=64).buffer_capacity == 64
 
 
-# ---------------------------------------------------------------- legacy shims
+# ---------------------------------------------------------------- legacy paths stay dead
 @pytest.mark.parametrize(
     "module, name",
     [
-        ("repro.simcore.tracing", "Tracer"),
-        ("repro.simcore.tracing", "TimeWeightedGauge"),
         ("repro.simcore", "CounterSet"),
+        ("repro.simcore", "Tracer"),
         ("repro.metrics.timeseries", "LatencyRecorder"),
         ("repro.metrics", "LatencySummary"),
         ("repro.core.control", "MetricsSnapshot"),
     ],
 )
-def test_legacy_import_paths_warn_and_delegate(module, name):
+def test_legacy_import_paths_are_gone(module, name):
+    """The PR-3/PR-7 deprecation shims were removed, not just silenced."""
     import importlib
 
-    import repro.telemetry as telemetry
-
     mod = importlib.import_module(module)
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        obj = getattr(mod, name)
-    # CPython's import machinery may consult module __getattr__ twice for
-    # ``from X import Y``, so assert at-least-one rather than exactly-one.
-    assert sum(issubclass(w.category, DeprecationWarning) for w in caught) >= 1
-    assert obj is getattr(telemetry, name)
+    with pytest.raises(AttributeError):
+        getattr(mod, name)
 
 
 def test_internal_modules_do_not_use_legacy_paths():

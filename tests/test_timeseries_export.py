@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.metrics.timeseries import LatencyRecorder, bin_rate, percentile_table
+from repro.metrics.timeseries import bin_rate, percentile_table
+from repro.telemetry import LatencyRecorder
 
 
 # ---------------------------------------------------------------- LatencyRecorder

@@ -4,7 +4,7 @@ import io
 
 import pytest
 
-from repro.core import build_prisma
+from repro.core import PrismaConfig, build_prisma
 from repro.dataset import tiny_dataset
 from repro.simcore import RandomStreams, Simulator
 from repro.storage import BlockDevice, Filesystem, PosixLayer, intel_p4600, sata_hdd
@@ -104,7 +104,7 @@ def test_tracing_posix_above_and_below_stage():
     """Two recorders around one stage see the same paths, different latencies."""
     sim, posix, split = make_env()
     below = TracingPosix(sim, posix, source_label="backend")
-    stage, pf, ctl = build_prisma(sim, below, control_period=1e-3)
+    stage, pf, ctl = build_prisma(sim, below, PrismaConfig(control_period=1e-3))
     above = TracingPosix(sim, stage, source_label="buffer_hit")
     stage.load_epoch(split.train.filenames())
 
