@@ -1,0 +1,157 @@
+"""Predictive-control gate: jump to the optimum, don't climb to it.
+
+ROADMAP item 1's acceptance gate, over both storage deployments of the
+predictive experiment (``posix`` and ``object``):
+
+* **predictive converges fast** — :class:`~repro.core.PredictivePolicy`
+  reaches 95 % of the oracle-best-static steady throughput in at most
+  ``MAX_CONVERGENCE_RATIO``x the control periods the reactive
+  :class:`~repro.core.PrismaAutotunePolicy` needs, on every backend kind;
+* **predictive converges well** — its steady-state throughput is at
+  least ``MIN_STEADY_FRACTION`` of the oracle's (the jump lands on the
+  actual optimum, not merely near it);
+* **one kernel, two drivers** — the predictive trial's decision sequence
+  replays identically through the simulated and the live controller
+  (sim/live parity), and the in-envelope workload never falls back;
+* the whole report is byte-deterministic across two runs of one seed.
+
+All recorded quantities are *simulated*, so the gate is immune to host
+wall-clock noise.  Results land in ``BENCH_predict.json`` at the repo root.
+
+Run directly:  PYTHONPATH=src python benchmarks/bench_predictive_control.py
+Or via pytest: pytest benchmarks/bench_predictive_control.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.predictive import run_predictive_comparison
+
+SEED = 0
+
+#: predictive must converge in <= half the reactive policy's periods.
+MAX_CONVERGENCE_RATIO = 0.5
+#: predictive steady throughput must be >= 95% of oracle-best-static.
+MIN_STEADY_FRACTION = 0.95
+BACKEND_KINDS = ("posix", "object")
+
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_predict.json"
+
+
+def run_predictive() -> dict:
+    report = run_predictive_comparison(seed=SEED, backend_kinds=BACKEND_KINDS)
+    repeat = run_predictive_comparison(seed=SEED, backend_kinds=BACKEND_KINDS)
+    deterministic = report.metrics_dict() == repeat.metrics_dict()
+
+    ratios = {}
+    steady_fractions = {}
+    parity = {}
+    fallbacks = {}
+    for r in report.results:
+        ratios[r.backend_kind] = r.convergence_ratio
+        steady_fractions[r.backend_kind] = (
+            r.predictive.steady_throughput / r.oracle.steady_throughput
+            if r.oracle.steady_throughput > 0
+            else 0.0
+        )
+        parity[r.backend_kind] = r.live_parity
+        fallbacks[r.backend_kind] = r.fell_back
+    return {
+        "benchmark": "predictive_control",
+        "description": (
+            "Offline (t, N) sweep fits a ridge throughput model; "
+            "PredictivePolicy jumps to its argmax and refines locally, "
+            "racing PrismaAutotunePolicy hill-climbing and the "
+            "oracle-best-static setting from the same cold start on POSIX "
+            "and object-store backends. Gates: predictive reaches 95% of "
+            "oracle steady throughput in <= 0.5x reactive's control "
+            "periods, lands within 5% of the oracle's steady rate, "
+            "preserves sim/live decision parity, never falls back, and "
+            "the whole report is byte-deterministic."
+        ),
+        "workload": (
+            f"run_predictive_comparison(seed={SEED}, "
+            f"backend_kinds={list(BACKEND_KINDS)})"
+        ),
+        "deterministic": deterministic,
+        "convergence_ratios": ratios,
+        "steady_fractions": steady_fractions,
+        "live_parity": parity,
+        "fell_back": fallbacks,
+        "max_convergence_ratio": MAX_CONVERGENCE_RATIO,
+        "min_steady_fraction": MIN_STEADY_FRACTION,
+        "model_rmse_rel": report.model_rmse_rel,
+        "report": report.metrics_dict(),
+    }
+
+
+def accept(report: dict) -> bool:
+    return (
+        report["deterministic"]
+        and len(report["convergence_ratios"]) == len(BACKEND_KINDS)
+        and all(
+            r <= report["max_convergence_ratio"]
+            for r in report["convergence_ratios"].values()
+        )
+        and all(
+            f >= report["min_steady_fraction"]
+            for f in report["steady_fractions"].values()
+        )
+        and all(report["live_parity"].values())
+        and not any(report["fell_back"].values())
+    )
+
+
+def write_report(report: dict, path: Path = OUTPUT) -> None:
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+# ---------------------------------------------------------------- pytest entry
+def test_predictive_control_gates(once):
+    report = once(run_predictive)
+    write_report(report)
+    assert report["deterministic"], "same seed must give byte-identical reports"
+    assert len(report["convergence_ratios"]) == len(BACKEND_KINDS)
+    for kind, ratio in report["convergence_ratios"].items():
+        assert ratio <= MAX_CONVERGENCE_RATIO, (
+            f"predictive took {ratio:.2f}x reactive's periods on {kind}"
+        )
+    for kind, fraction in report["steady_fractions"].items():
+        assert fraction >= MIN_STEADY_FRACTION, (
+            f"predictive steady rate only {fraction:.1%} of oracle on {kind}"
+        )
+    for kind, ok in report["live_parity"].items():
+        assert ok, f"sim/live decision parity broken on {kind}"
+    for kind, fell in report["fell_back"].items():
+        assert not fell, f"in-envelope workload fell back to reactive on {kind}"
+
+
+def main() -> int:
+    report = run_predictive()
+    write_report(report)
+    for kind in BACKEND_KINDS:
+        print(
+            "%s: %.2fx reactive's convergence periods, steady %.1f%% of "
+            "oracle, parity %s"
+            % (
+                kind,
+                report["convergence_ratios"][kind],
+                100 * report["steady_fractions"][kind],
+                "ok" if report["live_parity"][kind] else "BROKEN",
+            )
+        )
+    print(f"deterministic={report['deterministic']}")
+    print(f"wrote {OUTPUT}")
+    ok = accept(report)
+    print(
+        "acceptance (deterministic AND ratio <= %.2f AND steady >= %.0f%% "
+        "AND parity AND no fallback): %s"
+        % (MAX_CONVERGENCE_RATIO, 100 * MIN_STEADY_FRACTION, "PASS" if ok else "FAIL")
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,8 @@ Layers (bottom-up):
 * :mod:`repro.frameworks` — TF/PyTorch input-pipeline + GPU simulators;
 * :mod:`repro.core` — **PRISMA** (the paper's contribution) + integrations;
 * :mod:`repro.core.live` — a real-threads PRISMA usable on actual files;
+* :mod:`repro.perfmodel` — the learned (t, N) → throughput model behind
+  :class:`~repro.core.control.policy.PredictivePolicy`;
 * :mod:`repro.multitenant` — shared-storage multi-job coordination;
 * :mod:`repro.cluster` — sharded peer-to-peer sample serving with a
   cluster-wide cooperative cache;
@@ -35,6 +37,7 @@ from .core import (
     DegradedModePolicy,
     LookaheadSchedule,
     ParallelPrefetcher,
+    PredictivePolicy,
     PrismaAutotunePolicy,
     PrismaConfig,
     PrismaStage,
@@ -61,6 +64,7 @@ __all__ = [
     "FaultPlan",
     "LookaheadSchedule",
     "ParallelPrefetcher",
+    "PredictivePolicy",
     "PrismaAutotunePolicy",
     "PrismaConfig",
     "PrismaStage",

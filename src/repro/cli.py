@@ -10,6 +10,7 @@ Usage::
     python -m repro writes [--quick] [--files N] [--epochs N]
     python -m repro clairvoyant [--files N] [--epochs N] [--lookahead N]
     python -m repro cluster [--quick] [--nodes 128 256 512 1024] [--files N]
+    python -m repro predict [--quick] [--samples FILE] [--model-out FILE]
     python -m repro live-demo [--jobs N] [--files N] [--budget N]
     python -m repro trace --experiment figure2 --out trace.json
     python -m repro profile simcore [--top N] [--sort cumulative|tottime|ncalls]
@@ -411,6 +412,39 @@ def _cmd_live_demo(args) -> int:
     return 0
 
 
+def _cmd_predict(args) -> int:
+    """Predictive vs reactive control head-to-head (sweep → fit → jump)."""
+    if getattr(args, "trace", None):
+        print("error: --trace is not supported for 'predict'", file=sys.stderr)
+        return 2
+    from .experiments.predictive import format_predictive, run_predictive_comparison
+
+    kwargs = dict(seed=args.seed)
+    if args.quick:
+        kwargs.update(n_files=64, epochs=2, sweep_n_files=32)
+    if args.files is not None:
+        kwargs["n_files"] = args.files
+    if args.epochs is not None:
+        kwargs["epochs"] = args.epochs
+    report = run_predictive_comparison(**kwargs)
+    if args.samples:
+        from .perfmodel import write_samples_jsonl
+
+        write_samples_jsonl(report.samples, args.samples)
+        _note(args, f"wrote {args.samples} ({len(report.samples)} sweep samples)")
+    if args.model_out and report.model is not None:
+        report.model.save(args.model_out)
+        _note(args, f"wrote {args.model_out}")
+    if args.out:
+        from .experiments.export import dump_json
+
+        dump_json(report.metrics_dict(), args.out)
+        _note(args, f"wrote {args.out}")
+    print(format_predictive(report))
+    ok = all(r.live_parity and not r.fell_back for r in report.results)
+    return 0 if ok else 1
+
+
 def _cmd_trace(args) -> int:
     """One representative traced trial per experiment family."""
     from .telemetry import Telemetry, write_chrome_trace
@@ -504,12 +538,18 @@ def _profile_workloads():
 
         run_tf_trial("tf-prisma", LENET, 256, figure2_scale(quick=True), seed=0)
 
+    def predict():
+        from .experiments.predictive import run_predictive_comparison
+
+        run_predictive_comparison(n_files=64, epochs=2, sweep_n_files=32)
+
     return {
         "simcore": ("canonical mixed kernel workload (scale=8)", simcore),
         "cluster": ("peer-to-peer serving, 64 nodes / 512 files", cluster),
         "writes": ("checkpoint write workloads, 320 files", writes),
         "clairvoyant": ("reactive vs clairvoyant tiering comparison", clairvoyant),
         "figure2": ("one quick-scale tf-prisma trial", figure2),
+        "predict": ("predictive-control sweep + head-to-head comparison", predict),
     }
 
 
@@ -651,6 +691,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pcv.set_defaults(func=_cmd_clairvoyant)
 
+    ppr = sub.add_parser(
+        "predict", parents=[common],
+        help="predictive vs reactive control: sweep, fit, jump to the optimum",
+    )
+    ppr.add_argument("--files", type=int, default=None, help="comparison files (default 128)")
+    ppr.add_argument("--epochs", type=int, default=None, help="comparison epochs (default 3)")
+    ppr.add_argument(
+        "--quick", action="store_true", help="smaller sweep and workload for a fast look"
+    )
+    ppr.add_argument(
+        "--samples", metavar="FILE",
+        help="also write the sweep's training samples as JSONL",
+    )
+    ppr.add_argument(
+        "--model-out", metavar="FILE",
+        help="also write the fitted throughput model as JSON",
+    )
+    ppr.set_defaults(func=_cmd_predict)
+
     plive = sub.add_parser(
         "live-demo", parents=[common],
         help="live PRISMA: N real prefetcher pools under one global controller",
@@ -683,7 +742,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pp.add_argument(
         "workload",
-        choices=["simcore", "cluster", "writes", "clairvoyant", "figure2"],
+        choices=["simcore", "cluster", "writes", "clairvoyant", "figure2", "predict"],
         help="which canonical workload to profile",
     )
     pp.add_argument(

@@ -24,6 +24,8 @@ from .control import (
     DegradedModeParams,
     DegradedModePolicy,
     MetricsHistory,
+    PredictiveParams,
+    PredictivePolicy,
     PrismaAutotunePolicy,
     RetryPolicy,
     RpcApplicationError,
@@ -61,6 +63,8 @@ __all__ = [
     "OptimizationObject",
     "ParallelPrefetcher",
     "PrefetchBuffer",
+    "PredictiveParams",
+    "PredictivePolicy",
     "PrismaAutotunePolicy",
     "PrismaStage",
     "RetryPolicy",
@@ -218,6 +222,13 @@ def build_prisma(
     optimizations = [prefetcher] if tiering is None else [prefetcher, tiering]
     stage = PrismaStage(sim, backend, optimizations, name=f"{config.name}.stage")
     stage.tiering = tiering
+    # Label the stage with its workload features so control.decision
+    # telemetry is self-describing performance-model training data; the
+    # framework integration adds batch_size when it binds.
+    stage.feature_labels["backend_kind"] = (
+        config.backend.kind if config.backend is not None else "posix"
+    )
+    stage.feature_labels["lookahead_epochs"] = config.lookahead_epochs
     controller = Controller(
         sim, period=config.control_period, name=f"{config.name}.controller"
     )

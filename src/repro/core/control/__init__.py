@@ -35,6 +35,8 @@ from .policy import (
     DegradedModeParams,
     DegradedModePolicy,
     OscillationDampedPolicy,
+    PredictiveParams,
+    PredictivePolicy,
     PrismaAutotunePolicy,
     StaticPolicy,
 )
@@ -69,6 +71,8 @@ __all__ = [
     "MetricsHistory",
     "PortCall",
     "OscillationDampedPolicy",
+    "PredictiveParams",
+    "PredictivePolicy",
     "PrismaAutotunePolicy",
     "REMOTE_LATENCY",
     "ReplicatedController",

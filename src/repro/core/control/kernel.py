@@ -315,9 +315,20 @@ class ControlCycle:
         return None
 
     def _note_decision(self, tel, reg: KernelRegistration, decision, policy) -> None:
-        """Emit the policy-decision event and any degraded-mode transition."""
+        """Emit the policy-decision event and any degraded-mode transition.
+
+        The instant carries the stage's workload feature labels (batch
+        size, backend kind, lookahead — whatever the port's
+        ``control_features`` reports) alongside the decided (t, N), so the
+        metrics JSONL export is self-describing performance-model training
+        data: no joining decisions back to policy or builder state.
+        """
         if tel is None:
             return
+        features = {}
+        control_features = getattr(reg.port, "control_features", None)
+        if control_features is not None:
+            features = dict(control_features())
         tel.instant(
             "control.decision",
             self.name,
@@ -326,6 +337,7 @@ class ControlCycle:
             producers=decision.producers,
             buffer_capacity=decision.buffer_capacity,
             reason=getattr(policy, "last_reason", None),
+            **features,
         )
         engaged = self._degraded_state(policy)
         if engaged is not None and engaged != reg.last_engaged:

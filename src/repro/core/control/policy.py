@@ -92,6 +92,16 @@ class AutotuneParams:
     #: (the saturation point moves when the device degrades or a neighbour
     #: appears — a frozen cap would defeat the point of feedback control)
     saturation_recheck: int = 12
+    #: ceiling on the re-probe backoff multiplier: when a re-probe finds the
+    #: same knee again, the next recheck waits twice as long (up to this
+    #: factor), so a genuinely flat plateau converges to a held setting
+    #: instead of ping-ponging between adjacent (t, N) points forever
+    recheck_backoff_limit: int = 64
+    #: relative drift of the capped windowed rate from the rate recorded
+    #: when the knee was established beyond which the knee (and its
+    #: backoff) are treated as stale evidence — a degraded or recovered
+    #: device moves the whole curve, so the next re-probe happens at once
+    knee_drift_tolerance: float = 0.25
     max_producers: int = 8
     max_buffer: int = 4096
     min_buffer: int = 16
@@ -127,6 +137,9 @@ class PrismaAutotunePolicy(ControlPolicy):
         self._baseline_rate: Optional[float] = None
         self._saturated_at: Optional[int] = None
         self._capped_starving = 0
+        self._last_knee: Optional[int] = None
+        self._knee_rate: Optional[float] = None
+        self._recheck_backoff = 1
         #: recent snapshots forming the throughput measurement window
         self._window: List[MetricsSnapshot] = []
         self.decisions = 0
@@ -192,11 +205,27 @@ class PrismaAutotunePolicy(ControlPolicy):
                 gain = new_rate / self._baseline_rate - 1.0
                 if gain < p.min_marginal_gain and t > 1:
                     # The extra thread wasn't worth it: release it and mark
-                    # this concurrency level as the knee.
-                    self._saturated_at = t - 1
+                    # this concurrency level as the knee.  Rediscovering the
+                    # *same* knee doubles the re-probe backoff — a flat
+                    # plateau settles instead of cycling probe/retreat.
+                    knee = t - 1
+                    if knee == self._last_knee:
+                        self._recheck_backoff = min(
+                            self._recheck_backoff * 2, p.recheck_backoff_limit
+                        )
+                    else:
+                        self._recheck_backoff = 1
+                    self._last_knee = knee
+                    self._knee_rate = self._baseline_rate
+                    self._saturated_at = knee
                     return self._emit(
-                        TuningSettings(producers=t - 1), "marginal-gain-below-threshold"
+                        TuningSettings(producers=knee), "marginal-gain-below-threshold"
                     )
+                # The measured growth paid off: the surface rose past the
+                # old knee, so future rechecks start from a fresh clock.
+                self._recheck_backoff = 1
+                self._last_knee = None
+                self._knee_rate = None
             self._baseline_rate = None
             # fall through: the growth paid off; keep adapting
 
@@ -221,9 +250,25 @@ class PrismaAutotunePolicy(ControlPolicy):
                 return self._emit(TuningSettings(producers=t + 1), "starving-add-producer")
             # Starving but capped at the recorded knee: if this persists the
             # knee has moved (device degraded, neighbour arrived) — forget
-            # it and re-probe.
+            # it and re-probe.  The backoff multiplier stretches the wait
+            # each time a re-probe lands on the same knee, but a large drift
+            # of the observed rate from the rate recorded at the knee means
+            # the whole curve moved, so the knee and its backoff are stale
+            # evidence and the re-probe happens at once.
+            rate = self._windowed_rate()
+            if (
+                self._knee_rate
+                and rate > 0
+                and abs(rate / self._knee_rate - 1.0) > p.knee_drift_tolerance
+            ):
+                self._recheck_backoff = 1
+                self._last_knee = None
+                self._knee_rate = None
+                self._capped_starving = 0
+                self._saturated_at = None
+                return None
             self._capped_starving += 1
-            if self._capped_starving >= p.saturation_recheck:
+            if self._capped_starving >= p.saturation_recheck * self._recheck_backoff:
                 self._capped_starving = 0
                 self._saturated_at = None
             return None
@@ -346,6 +391,160 @@ class DegradedModePolicy(ControlPolicy):
             self.last_reason = "degraded-recovered"
             return TuningSettings(producers=saved[0], buffer_capacity=saved[1])
         return None
+
+
+@dataclass
+class PredictiveParams:
+    """Tunables of the model-driven policy.
+
+    The confidence seam has two gates: the query context must lie inside
+    the model's training envelope (:meth:`~repro.perfmodel.model.
+    ThroughputModel.in_envelope`), and the model's training-set relative
+    RMSE must not exceed ``max_rmse_rel`` — a model that cannot explain
+    its own training data has no business steering a control plane.
+    Failing either gate degrades to the reactive fallback policy.
+    """
+
+    #: producers the local refinement may walk above/below the jump point
+    refine_radius: int = 1
+    #: reject models whose training-set relative RMSE exceeds this
+    max_rmse_rel: float = 0.35
+    #: predicted-throughput slack for preferring leaner settings at argmax
+    resource_slack: float = 0.02
+    max_producers: int = 8
+    max_buffer: int = 4096
+    min_buffer: int = 16
+
+    def __post_init__(self) -> None:
+        if self.refine_radius < 0:
+            raise ValueError("refine_radius must be >= 0")
+        if self.max_rmse_rel <= 0:
+            raise ValueError("max_rmse_rel must be positive")
+        if not 0.0 <= self.resource_slack < 1.0:
+            raise ValueError("resource_slack must be in [0, 1)")
+        if self.max_producers < 1:
+            raise ValueError("max_producers must be >= 1")
+        if not 1 <= self.min_buffer <= self.max_buffer:
+            raise ValueError("need 1 <= min_buffer <= max_buffer")
+
+
+class PredictivePolicy(ControlPolicy):
+    """Jump to the performance model's predicted optimum, then refine.
+
+    The reactive :class:`PrismaAutotunePolicy` spends many control periods
+    hill-climbing to the knee of the storage curve; once an offline
+    :class:`~repro.perfmodel.model.ThroughputModel` has been fitted over
+    the telemetry the system already emits, that search is wasted work.
+    This policy **warm-starts** at ``model.argmax_settings(context)`` in a
+    single decision, then hands the knobs to a bounded local refinement —
+    a :class:`PrismaAutotunePolicy` whose feasible range is clamped to
+    ``jump ± refine_radius`` — so model error cannot strand the system at
+    a bad operating point, but also cannot drag it far from the prediction.
+
+    The fallback seam: if the model is unfitted, the workload context
+    falls outside the training envelope, or the fit's own RMSE exceeds
+    ``max_rmse_rel``, the policy degrades to ``fallback`` (a fresh
+    reactive tuner by default) for the lifetime of the run, recording why
+    in :attr:`fallback_reason`.  Prediction is an optimization, never a
+    correctness dependency.
+
+    The model is duck-typed (``fitted`` / ``fit_rmse_rel`` /
+    ``in_envelope`` / ``argmax_settings``) so this module — the bottom of
+    the control plane — never imports :mod:`repro.perfmodel` at runtime.
+    """
+
+    def __init__(
+        self,
+        model,
+        context,
+        params: Optional[PredictiveParams] = None,
+        fallback: Optional[ControlPolicy] = None,
+    ) -> None:
+        self.model = model
+        self.context = context
+        self.params = params or PredictiveParams()
+        self.fallback = fallback if fallback is not None else PrismaAutotunePolicy()
+        #: (t, N, predicted bytes/s) of the applied jump, once made
+        self.jumped_to: Optional[tuple] = None
+        #: why the policy degraded to the fallback (None while predictive)
+        self.fallback_reason: Optional[str] = None
+        self.decisions = 0
+        self._mode = "init"  # init -> jump applied -> refine | fallback
+        self._refiner: Optional[PrismaAutotunePolicy] = None
+        self._floor_producers = 1
+
+    @property
+    def fell_back(self) -> bool:
+        return self._mode == "fallback"
+
+    # -- confidence seam ---------------------------------------------------------
+    def _confidence_failure(self) -> Optional[str]:
+        """Why the model cannot be trusted (None = trust it)."""
+        if not getattr(self.model, "fitted", False):
+            return "predictive-fallback-unfitted"
+        if not self.model.in_envelope(self.context):
+            return "predictive-fallback-out-of-envelope"
+        if self.model.fit_rmse_rel > self.params.max_rmse_rel:
+            return "predictive-fallback-low-confidence"
+        return None
+
+    def _enter_fallback(self, reason: str) -> None:
+        self._mode = "fallback"
+        self.fallback_reason = reason
+        self.last_reason = reason
+
+    # -- main loop -------------------------------------------------------------
+    def decide(self, snapshot, previous):  # noqa: D102 - inherited
+        if self._mode == "fallback":
+            decision = self.fallback.decide(snapshot, previous)
+            if decision is not None:
+                self.last_reason = getattr(self.fallback, "last_reason", None)
+            return decision
+
+        if self._mode == "init":
+            failure = self._confidence_failure()
+            if failure is not None:
+                self._enter_fallback(failure)
+                return self.decide(snapshot, previous)
+            if snapshot.queue_remaining == 0:
+                return None  # nothing flowing yet — jump on the first live period
+            p = self.params
+            t_star, n_star, predicted = self.model.argmax_settings(
+                self.context, resource_slack=p.resource_slack
+            )
+            t_star = max(1, min(t_star, p.max_producers))
+            n_star = max(p.min_buffer, min(n_star, p.max_buffer))
+            self.jumped_to = (t_star, n_star, predicted)
+            self._floor_producers = max(1, t_star - p.refine_radius)
+            self._refiner = PrismaAutotunePolicy(
+                AutotuneParams(
+                    max_producers=min(t_star + p.refine_radius, p.max_producers),
+                    max_buffer=p.max_buffer,
+                    min_buffer=p.min_buffer,
+                )
+            )
+            self._mode = "refine"
+            self.decisions += 1
+            self.last_reason = "predictive-jump"
+            return TuningSettings(producers=t_star, buffer_capacity=n_star)
+
+        # -- refine: reactive steps, clamped to the jump's neighbourhood -------
+        assert self._refiner is not None
+        decision = self._refiner.decide(snapshot, previous)
+        if decision is None:
+            return None
+        self.last_reason = self._refiner.last_reason
+        producers = decision.producers
+        if producers is not None and producers < self._floor_producers:
+            # Shrink below the refinement box: the model says those extra
+            # threads are load-bearing — suppress the producer change.
+            # (Safe w.r.t. the refiner's state machine: only *growth*
+            # enters its settle/measure cycle.)
+            decision = replace(decision, producers=None)
+            if decision.buffer_capacity is None and not decision.extra:
+                return None
+        self.decisions += 1
+        return decision
 
 
 class OscillationDampedPolicy(ControlPolicy):

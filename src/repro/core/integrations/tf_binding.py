@@ -74,6 +74,9 @@ class PrismaTensorFlowPipeline(TFDataPipeline):
             name=name,
         )
         self.stage = stage
+        # The integration knows the consumer-side batch size; labelling the
+        # stage here completes the control.decision feature vector.
+        stage.feature_labels["batch_size"] = batch_size
 
     def begin_epoch(self, epoch: int) -> None:
         super().begin_epoch(epoch)

@@ -71,6 +71,11 @@ class LivePrefetcher:
         self._schedule: Optional[LookaheadSchedule] = None
         self._staged_ahead: Set[str] = set()
         self.lookahead_fetches = 0
+        #: workload feature labels merged into control.decision telemetry
+        #: (same contract as :attr:`~repro.core.stage.PrismaStage.
+        #: feature_labels`); callers label backend kind / batch size so
+        #: live telemetry harvests into the same training rows as sim
+        self.feature_labels: dict = {"lookahead_epochs": self.lookahead_epochs}
 
     def install_schedule(self, schedule: LookaheadSchedule) -> None:
         """Install the clairvoyant oracle (shared with the simulated plane)."""
@@ -292,6 +297,11 @@ class LivePrefetcher:
 
     def control_apply(self, settings: TuningSettings) -> None:
         self.apply_settings(settings)
+
+    def control_features(self) -> dict:
+        """Workload feature labels for control-plane telemetry (a copy)."""
+        with self._lock:
+            return dict(self.feature_labels)
 
     # -- lifecycle --------------------------------------------------------------
     def close(self) -> None:

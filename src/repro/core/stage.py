@@ -58,6 +58,12 @@ class PrismaStage(PosixLike):
         #: with per-request service times (the monitoring plane's "I/O rate"
         #: metrics, at distribution granularity)
         self.latency_recorder = latency_recorder
+        #: workload feature labels (backend kind, batch size, lookahead …)
+        #: merged into every ``control.decision`` instant so exported
+        #: telemetry is self-describing performance-model training data;
+        #: populated by :func:`~repro.core.build_prisma` and the framework
+        #: integrations, extendable by callers
+        self.feature_labels: Dict[str, object] = {}
 
     def add_optimization(self, opt: OptimizationObject) -> None:
         self.optimizations.append(opt)
@@ -193,6 +199,10 @@ class PrismaStage(PosixLike):
         """Enforcement hook: push new knob values to every object."""
         for opt in self.optimizations:
             opt.apply_settings(settings)
+
+    def control_features(self) -> Dict[str, object]:
+        """Workload feature labels for control-plane telemetry (a copy)."""
+        return dict(self.feature_labels)
 
     def __repr__(self) -> str:
         return f"<PrismaStage {self.name!r} optimizations={len(self.optimizations)}>"

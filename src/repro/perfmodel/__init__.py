@@ -1,0 +1,83 @@
+"""``repro.perfmodel`` — the learned performance model behind predictive control.
+
+ROADMAP item 1 made concrete: the control plane's telemetry already emits
+``(t, N, batch size, backend kind, lookahead) → throughput`` observations;
+this package turns them into a model the control plane can *query* —
+
+* :mod:`~repro.perfmodel.features` — the sample schema
+  (:class:`PerfSample`), the engineered regression basis, and the
+  deterministic JSONL interchange format;
+* :mod:`~repro.perfmodel.dataset` — harvesting samples from
+  :class:`~repro.core.control.monitor.MetricsHistory` telemetry;
+* :mod:`~repro.perfmodel.model` — the dependency-free ridge
+  :class:`ThroughputModel` with ``fit``/``predict``/``argmax_settings``
+  and versioned JSON serialization;
+* :mod:`~repro.perfmodel.sweep` — the seeded offline sweep runner that
+  measures the surface directly (lazy import: it pulls in the full
+  experiment stack, which the model/policy layers must not depend on).
+
+The consumer is :class:`~repro.core.control.policy.PredictivePolicy`,
+which jumps to ``argmax_settings`` and refines locally instead of
+hill-climbing from scratch.
+"""
+
+from .dataset import (
+    context_from_decision_args,
+    merge_samples,
+    samples_from_history,
+    settings_grid,
+)
+from .features import (
+    SAMPLE_SOURCES,
+    SCHEMA_VERSION,
+    PerfSample,
+    WorkloadContext,
+    feature_dim,
+    feature_vector,
+    read_samples_jsonl,
+    sample_sort_key,
+    sorted_samples,
+    write_samples_jsonl,
+)
+from .model import Envelope, ModelSchemaError, ThroughputModel
+
+#: names served lazily from :mod:`~repro.perfmodel.sweep` (PEP 562) — the
+#: sweep imports ``repro.core``/experiment machinery, which would create an
+#: import cycle if loaded eagerly here (``repro.core.control.policy``
+#: imports this package for the model types).
+_SWEEP_EXPORTS = (
+    "DEFAULT_DEPTHS",
+    "DEFAULT_THREADS",
+    "default_backend_configs",
+    "run_offline_sweep",
+    "run_sweep_trial",
+)
+
+__all__ = [
+    "Envelope",
+    "ModelSchemaError",
+    "PerfSample",
+    "SAMPLE_SOURCES",
+    "SCHEMA_VERSION",
+    "ThroughputModel",
+    "WorkloadContext",
+    "context_from_decision_args",
+    "feature_dim",
+    "feature_vector",
+    "merge_samples",
+    "read_samples_jsonl",
+    "sample_sort_key",
+    "samples_from_history",
+    "settings_grid",
+    "sorted_samples",
+    "write_samples_jsonl",
+    *_SWEEP_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _SWEEP_EXPORTS:
+        from . import sweep
+
+        return getattr(sweep, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,151 @@
+"""Harvesting training data from control-plane telemetry.
+
+The control plane already records everything a performance model needs:
+:class:`~repro.core.control.monitor.MetricsHistory` holds the per-period
+:class:`~repro.telemetry.snapshot.MetricsSnapshot` series (bytes fetched,
+producers allocated, buffer capacity, sim time), and ``control.decision``
+instants carry the full feature labels (batch size, backend kind,
+lookahead — satellite work in this PR).  This module turns those records
+into :class:`~repro.perfmodel.features.PerfSample` rows.
+
+Harvest discipline: a snapshot interval only becomes a sample if the
+tuning settings were *stable across the whole interval* (same producers
+and buffer capacity at both endpoints).  Intervals spanning a settings
+change mix two operating points and would teach the model a blend of
+throughputs neither setting delivers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .features import PerfSample, WorkloadContext, sorted_samples
+
+
+def samples_from_history(
+    history,
+    context: WorkloadContext,
+    *,
+    min_interval: float = 0.0,
+    window: int = 1,
+    seed: int = 0,
+) -> List[PerfSample]:
+    """Turn a :class:`MetricsHistory` into throughput samples.
+
+    Each consecutive snapshot pair with unchanged settings yields the
+    interval throughput ``Δbytes_fetched / Δtime``.  ``window`` > 1
+    additionally requires that many *consecutive* stable intervals before
+    emitting (and rates over the widened interval) — this filters out the
+    settle transient right after a settings change, when the buffer is
+    still refilling and throughput under-reads the steady state.
+
+    ``history`` is duck-typed: anything with ``.snapshots()`` returning a
+    chronological snapshot list works (so live and sim histories, or a
+    replayed snapshot script, all harvest identically).
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    snaps = list(history.snapshots())
+    out: List[PerfSample] = []
+    stable_run = 0
+    for i in range(1, len(snaps)):
+        prev, cur = snaps[i - 1], snaps[i]
+        settings_stable = (
+            cur.producers_allocated == prev.producers_allocated
+            and cur.buffer_capacity == prev.buffer_capacity
+            and cur.producers_allocated >= 1
+            and cur.buffer_capacity >= 1
+        )
+        if not settings_stable:
+            stable_run = 0
+            continue
+        stable_run += 1
+        if stable_run < window:
+            continue
+        base = snaps[i - window]
+        dt = cur.time - base.time
+        dbytes = cur.bytes_fetched - base.bytes_fetched
+        if dt <= min_interval or dt <= 0 or dbytes <= 0:
+            continue
+        out.append(
+            PerfSample(
+                threads=cur.producers_allocated,
+                prefetch_depth=cur.buffer_capacity,
+                batch_size=context.batch_size,
+                backend_kind=context.backend_kind,
+                lookahead_epochs=context.lookahead_epochs,
+                throughput=dbytes / dt,
+                source="telemetry",
+                seed=seed,
+            )
+        )
+    return out
+
+
+def context_from_decision_args(args: Dict[str, object]) -> Optional[WorkloadContext]:
+    """Recover a :class:`WorkloadContext` from a ``control.decision``
+    instant's args (as exported to metrics JSONL).
+
+    Returns ``None`` when the instant predates feature labelling (older
+    telemetry without ``backend_kind``) — callers skip those rather than
+    guessing.
+    """
+    kind = args.get("backend_kind")
+    if not isinstance(kind, str) or not kind:
+        return None
+    batch = args.get("batch_size", 1)
+    lookahead = args.get("lookahead_epochs", 0)
+    try:
+        return WorkloadContext(
+            backend_kind=kind,
+            batch_size=int(batch),  # type: ignore[arg-type]
+            lookahead_epochs=int(lookahead),  # type: ignore[arg-type]
+        )
+    except (TypeError, ValueError):
+        return None
+
+
+def merge_samples(*sample_sets: Iterable[PerfSample]) -> List[PerfSample]:
+    """Union sample sets (sweep + harvested telemetry), deduplicated.
+
+    Exact-duplicate rows (same settings, context, source, seed, and
+    throughput) collapse to one — re-harvesting the same run twice must
+    not double-weight its points — while genuinely repeated measurements
+    (different seed or throughput) are all kept.
+    """
+    seen = set()
+    merged: List[PerfSample] = []
+    for sample_set in sample_sets:
+        for sample in sample_set:
+            key = (
+                sample.threads,
+                sample.prefetch_depth,
+                sample.batch_size,
+                sample.backend_kind,
+                sample.lookahead_epochs,
+                sample.source,
+                sample.seed,
+                sample.throughput,
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            merged.append(sample)
+    return sorted_samples(merged)
+
+
+def settings_grid(samples: Sequence[PerfSample]) -> Dict[str, List[int]]:
+    """The distinct (t, N) values present in a sample set, per axis —
+    handy for choosing argmax grids that match the data."""
+    return {
+        "threads": sorted({s.threads for s in samples}),
+        "depths": sorted({s.prefetch_depth for s in samples}),
+    }
+
+
+__all__ = [
+    "context_from_decision_args",
+    "merge_samples",
+    "samples_from_history",
+    "settings_grid",
+]

@@ -1,0 +1,231 @@
+"""Feature engineering for the (t, N) → throughput performance surface.
+
+The control plane's telemetry already labels every observation with the
+full tuning context — producer threads *t*, prefetch-buffer depth *N*,
+batch size, backend kind, and lookahead horizon (see the
+``control.decision`` instants and the metrics JSONL export).  This module
+fixes the *vocabulary*: one :class:`PerfSample` record per observation,
+one :class:`WorkloadContext` describing the workload-side features, and
+the engineered regression basis :func:`feature_vector` the ridge model
+fits over.
+
+The basis is chosen for the physics of the storage curve, not generality:
+fetch throughput versus thread count is concave and saturating (paper
+Fig. 3 — each extra thread buys less), so per-backend-kind terms in
+``ln t``, ``(ln t)²`` and ``1/t`` capture the knee, and ``ln N`` /
+``(ln N)²`` capture the buffer's starvation threshold.  Everything here is
+dependency-free, pure-float, and deterministic — a fit on the same samples
+is byte-identical on every platform the test suite runs on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+#: Version stamp written into every serialized artifact (samples JSONL and
+#: fitted models).  Loading a mismatched version fails loudly — silently
+#: reinterpreting features across schema generations is how a learned
+#: controller goes quietly wrong.
+SCHEMA_VERSION = 1
+
+#: Where a training sample came from: a seeded offline sweep trial, or
+#: telemetry harvested from a control plane's monitoring history.
+SAMPLE_SOURCES = ("sweep", "telemetry")
+
+
+@dataclass(frozen=True)
+class WorkloadContext:
+    """The workload-side half of the feature vector.
+
+    The tuning knobs (t, N) vary per observation; these describe what the
+    observations were collected *under* and must match between training
+    data and prediction queries for the model to be trustworthy — the
+    envelope check in :meth:`~repro.perfmodel.model.ThroughputModel.
+    in_envelope` enforces exactly that.
+    """
+
+    backend_kind: str
+    batch_size: int
+    lookahead_epochs: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.backend_kind:
+            raise ValueError("backend_kind must be a non-empty string")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.lookahead_epochs < 0:
+            raise ValueError("lookahead_epochs must be >= 0")
+
+
+@dataclass(frozen=True)
+class PerfSample:
+    """One observed point on the (t, N) → throughput surface."""
+
+    threads: int
+    prefetch_depth: int
+    batch_size: int
+    backend_kind: str
+    lookahead_epochs: int
+    #: delivered fetch throughput in bytes per (simulated or wall) second
+    throughput: float
+    source: str = "sweep"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ValueError("threads must be >= 1")
+        if self.prefetch_depth < 1:
+            raise ValueError("prefetch_depth must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.throughput <= 0:
+            raise ValueError("throughput must be positive")
+        if self.source not in SAMPLE_SOURCES:
+            raise ValueError(
+                f"unknown source {self.source!r}; expected one of {SAMPLE_SOURCES}"
+            )
+
+    @property
+    def context(self) -> WorkloadContext:
+        return WorkloadContext(
+            backend_kind=self.backend_kind,
+            batch_size=self.batch_size,
+            lookahead_epochs=self.lookahead_epochs,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, row: Dict[str, object]) -> "PerfSample":
+        return cls(**row)  # type: ignore[arg-type]
+
+
+#: Deterministic ordering for sample collections: sorting before export
+#: makes the JSONL byte-identical regardless of harvest order.
+def sample_sort_key(sample: PerfSample) -> Tuple:
+    return (
+        sample.backend_kind,
+        sample.batch_size,
+        sample.lookahead_epochs,
+        sample.threads,
+        sample.prefetch_depth,
+        sample.source,
+        sample.seed,
+        sample.throughput,
+    )
+
+
+def sorted_samples(samples: Iterable[PerfSample]) -> List[PerfSample]:
+    return sorted(samples, key=sample_sort_key)
+
+
+# -- the regression basis -------------------------------------------------------
+#: per-backend-kind basis terms over the tuning knobs
+_KIND_TERMS = 6
+#: global workload terms appended after the per-kind blocks
+_GLOBAL_TERMS = 2
+
+
+def feature_dim(kinds: Sequence[str]) -> int:
+    return _KIND_TERMS * len(kinds) + _GLOBAL_TERMS
+
+
+def feature_vector(
+    threads: int,
+    prefetch_depth: int,
+    context: WorkloadContext,
+    kinds: Sequence[str],
+) -> List[float]:
+    """The engineered basis row for one (t, N, context) query.
+
+    ``kinds`` is the model's fitted backend-kind alphabet (sorted at fit
+    time); each kind owns a block of six terms — intercept, ``ln t``,
+    ``(ln t)²``, ``1/t``, ``ln N``, ``(ln N)²`` — so the storage curves of
+    a POSIX SSD and an object store are fitted independently while sharing
+    the two global workload terms (``ln batch``, lookahead).  A query for
+    a kind outside the alphabet raises: that is an envelope violation the
+    policy must catch *before* asking for predictions.
+    """
+    if context.backend_kind not in kinds:
+        raise ValueError(
+            f"backend kind {context.backend_kind!r} outside the fitted "
+            f"alphabet {list(kinds)}"
+        )
+    lt = math.log(float(threads))
+    ln = math.log(float(prefetch_depth))
+    row = [0.0] * feature_dim(kinds)
+    base = kinds.index(context.backend_kind) * _KIND_TERMS
+    row[base] = 1.0
+    row[base + 1] = lt
+    row[base + 2] = lt * lt
+    row[base + 3] = 1.0 / float(threads)
+    row[base + 4] = ln
+    row[base + 5] = ln * ln
+    row[-2] = math.log(float(context.batch_size))
+    row[-1] = float(context.lookahead_epochs)
+    return row
+
+
+# -- JSONL import/export ---------------------------------------------------------
+def write_samples_jsonl(samples: Iterable[PerfSample], path: str) -> int:
+    """Write samples as deterministic JSONL (sorted rows, sorted keys).
+
+    The file is the training-data interchange format: one header row with
+    the schema version, then one row per sample.  Two writes of the same
+    sample set are byte-identical.
+    """
+    ordered = sorted_samples(samples)
+    with open(path, "w") as fh:
+        fh.write(
+            json.dumps(
+                {"schema_version": SCHEMA_VERSION, "kind": "perf_samples"},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+        fh.write("\n")
+        for sample in ordered:
+            fh.write(json.dumps(sample.to_dict(), sort_keys=True, separators=(",", ":")))
+            fh.write("\n")
+    return len(ordered)
+
+
+def read_samples_jsonl(path: str) -> List[PerfSample]:
+    """Load a samples JSONL written by :func:`write_samples_jsonl`.
+
+    Raises :class:`ValueError` on a missing/mismatched schema header so a
+    stale file from a different schema generation cannot silently train a
+    model.
+    """
+    with open(path) as fh:
+        lines = [line for line in fh.read().splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty samples file")
+    header = json.loads(lines[0])
+    if header.get("kind") != "perf_samples":
+        raise ValueError(f"{path}: not a perf-samples file (header {header!r})")
+    version = header.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: samples schema version {version!r} does not match "
+            f"supported version {SCHEMA_VERSION}; re-run the sweep/harvest"
+        )
+    return [PerfSample.from_dict(json.loads(line)) for line in lines[1:]]
+
+
+__all__ = [
+    "PerfSample",
+    "SAMPLE_SOURCES",
+    "SCHEMA_VERSION",
+    "WorkloadContext",
+    "feature_dim",
+    "feature_vector",
+    "read_samples_jsonl",
+    "sample_sort_key",
+    "sorted_samples",
+    "write_samples_jsonl",
+]

@@ -1,0 +1,335 @@
+"""The offline performance model: ridge regression over the storage curve.
+
+Fits ``ln(throughput)`` against the engineered basis of
+:func:`~repro.perfmodel.features.feature_vector` with a closed-form ridge
+solve — pure-Python Gaussian elimination over a handful of coefficients,
+no numpy, byte-deterministic for a given sample list.  Fitting in log
+space makes errors multiplicative (a 2× miss on a slow config costs as
+much as a 2× miss on a fast one) and keeps every prediction positive.
+
+What the control plane consumes:
+
+* :meth:`ThroughputModel.predict` — throughput for one (t, N, context);
+* :meth:`ThroughputModel.argmax_settings` — the predicted-optimal (t, N)
+  over a feasible grid, preferring the *leanest* settings within
+  ``resource_slack`` of the peak (the paper's resource/performance
+  balance: never spend a thread that buys <2%);
+* :meth:`ThroughputModel.in_envelope` — whether a query context lies
+  inside the training envelope; outside it the
+  :class:`~repro.core.control.policy.PredictivePolicy` must degrade to
+  the reactive feedback loop rather than trust an extrapolation.
+
+Serialization is versioned JSON (:data:`~repro.perfmodel.features.
+SCHEMA_VERSION`): fit → save → load → predict round-trips exactly, and a
+mismatched schema version raises :class:`ModelSchemaError` instead of
+silently reinterpreting weights.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .features import (
+    SCHEMA_VERSION,
+    PerfSample,
+    WorkloadContext,
+    feature_dim,
+    feature_vector,
+    sorted_samples,
+)
+
+
+class ModelSchemaError(ValueError):
+    """A serialized model's schema version does not match this code."""
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """The region of feature space the training data actually covered.
+
+    ``kind_ranges`` records, per backend kind, the knob rectangle
+    ``(min_t, max_t, min_N, max_N)`` that kind's samples spanned — the
+    grids may legitimately differ (a POSIX SSD swept to its t=4 knee, an
+    object store to t=8), and :meth:`ThroughputModel.argmax_settings`
+    must never extrapolate one kind's basis block beyond its own data.
+    """
+
+    kinds: Tuple[str, ...]
+    min_threads: int
+    max_threads: int
+    min_depth: int
+    max_depth: int
+    min_batch: int
+    max_batch: int
+    min_lookahead: int
+    max_lookahead: int
+    kind_ranges: Dict[str, Tuple[int, int, int, int]]
+
+    def contains(self, context: WorkloadContext) -> bool:
+        """Is the *workload* context inside the training envelope?
+
+        Only the workload-side features gate trust: the tuning knobs
+        (t, N) are what the model exists to choose, and
+        :meth:`ThroughputModel.argmax_settings` already clips its search
+        grid to the trained knob range.
+        """
+        return (
+            context.backend_kind in self.kinds
+            and self.min_batch <= context.batch_size <= self.max_batch
+            and self.min_lookahead <= context.lookahead_epochs <= self.max_lookahead
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kinds": list(self.kinds),
+            "min_threads": self.min_threads,
+            "max_threads": self.max_threads,
+            "min_depth": self.min_depth,
+            "max_depth": self.max_depth,
+            "min_batch": self.min_batch,
+            "max_batch": self.max_batch,
+            "min_lookahead": self.min_lookahead,
+            "max_lookahead": self.max_lookahead,
+            "kind_ranges": {
+                kind: list(bounds) for kind, bounds in sorted(self.kind_ranges.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, row: Dict[str, object]) -> "Envelope":
+        data = dict(row)
+        data["kinds"] = tuple(data["kinds"])  # type: ignore[arg-type]
+        data["kind_ranges"] = {
+            kind: tuple(bounds)
+            for kind, bounds in data["kind_ranges"].items()  # type: ignore[union-attr]
+        }
+        return cls(**data)  # type: ignore[arg-type]
+
+
+def _solve(matrix: List[List[float]], rhs: List[float]) -> List[float]:
+    """Gaussian elimination with partial pivoting (deterministic floats)."""
+    n = len(rhs)
+    a = [row[:] + [rhs[i]] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(a[r][col]))
+        if abs(a[pivot][col]) < 1e-12:
+            raise ValueError("singular normal equations; raise ridge_lambda")
+        if pivot != col:
+            a[col], a[pivot] = a[pivot], a[col]
+        inv = 1.0 / a[col][col]
+        for r in range(col + 1, n):
+            factor = a[r][col] * inv
+            if factor == 0.0:
+                continue
+            for c in range(col, n + 1):
+                a[r][c] -= factor * a[col][c]
+    out = [0.0] * n
+    for r in range(n - 1, -1, -1):
+        acc = a[r][n]
+        for c in range(r + 1, n):
+            acc -= a[r][c] * out[c]
+        out[r] = acc / a[r][r]
+    return out
+
+
+class ThroughputModel:
+    """Ridge fit of the (t, N, context) → throughput surface."""
+
+    def __init__(self, ridge_lambda: float = 1e-3) -> None:
+        if ridge_lambda <= 0:
+            raise ValueError("ridge_lambda must be positive")
+        self.ridge_lambda = ridge_lambda
+        self.weights: Optional[List[float]] = None
+        self.envelope: Optional[Envelope] = None
+        self.n_samples = 0
+        #: root-mean-square *relative* error of the fit on its own training
+        #: set (0.1 = typical prediction within ~10%); the policy's
+        #: confidence seam refuses models that fit their own data poorly
+        self.fit_rmse_rel = 0.0
+
+    @property
+    def fitted(self) -> bool:
+        return self.weights is not None
+
+    # -- fitting -------------------------------------------------------------------
+    def fit(self, samples: Sequence[PerfSample]) -> "ThroughputModel":
+        """Closed-form ridge solve; samples are sorted first so the fit is
+        independent of harvest order."""
+        ordered = sorted_samples(samples)
+        if len(ordered) < 4:
+            raise ValueError(f"need >= 4 samples to fit, got {len(ordered)}")
+        kinds = tuple(sorted({s.backend_kind for s in ordered}))
+        dim = feature_dim(kinds)
+        rows = [
+            feature_vector(s.threads, s.prefetch_depth, s.context, kinds)
+            for s in ordered
+        ]
+        targets = [math.log(s.throughput) for s in ordered]
+
+        # Normal equations: (XᵀX + λI) w = Xᵀy.
+        xtx = [[0.0] * dim for _ in range(dim)]
+        xty = [0.0] * dim
+        for row, y in zip(rows, targets):
+            for i, xi in enumerate(row):
+                if xi == 0.0:
+                    continue
+                xty[i] += xi * y
+                xtx_i = xtx[i]
+                for j, xj in enumerate(row):
+                    if xj != 0.0:
+                        xtx_i[j] += xi * xj
+        for i in range(dim):
+            xtx[i][i] += self.ridge_lambda
+        self.weights = _solve(xtx, xty)
+
+        kind_ranges: Dict[str, Tuple[int, int, int, int]] = {}
+        for kind in kinds:
+            of_kind = [s for s in ordered if s.backend_kind == kind]
+            kind_ranges[kind] = (
+                min(s.threads for s in of_kind),
+                max(s.threads for s in of_kind),
+                min(s.prefetch_depth for s in of_kind),
+                max(s.prefetch_depth for s in of_kind),
+            )
+        self.envelope = Envelope(
+            kinds=kinds,
+            min_threads=min(s.threads for s in ordered),
+            max_threads=max(s.threads for s in ordered),
+            min_depth=min(s.prefetch_depth for s in ordered),
+            max_depth=max(s.prefetch_depth for s in ordered),
+            min_batch=min(s.batch_size for s in ordered),
+            max_batch=max(s.batch_size for s in ordered),
+            min_lookahead=min(s.lookahead_epochs for s in ordered),
+            max_lookahead=max(s.lookahead_epochs for s in ordered),
+            kind_ranges=kind_ranges,
+        )
+        self.n_samples = len(ordered)
+        sq = 0.0
+        for sample, row in zip(ordered, rows):
+            pred = math.exp(sum(w * x for w, x in zip(self.weights, row)))
+            rel = pred / sample.throughput - 1.0
+            sq += rel * rel
+        self.fit_rmse_rel = math.sqrt(sq / len(ordered))
+        return self
+
+    # -- queries -------------------------------------------------------------------
+    def _require_fit(self) -> Tuple[List[float], Envelope]:
+        if self.weights is None or self.envelope is None:
+            raise ValueError("model is not fitted; call fit() or load()")
+        return self.weights, self.envelope
+
+    def predict(
+        self, threads: int, prefetch_depth: int, context: WorkloadContext
+    ) -> float:
+        """Predicted throughput (bytes/s) for one settings/context query."""
+        weights, envelope = self._require_fit()
+        row = feature_vector(threads, prefetch_depth, context, envelope.kinds)
+        return math.exp(sum(w * x for w, x in zip(weights, row)))
+
+    def in_envelope(self, context: WorkloadContext) -> bool:
+        _, envelope = self._require_fit()
+        return envelope.contains(context)
+
+    def argmax_settings(
+        self,
+        context: WorkloadContext,
+        grid_threads: Optional[Sequence[int]] = None,
+        grid_depths: Optional[Sequence[int]] = None,
+        resource_slack: float = 0.02,
+    ) -> Tuple[int, int, float]:
+        """The predicted-optimal (t, N) over the feasible grid.
+
+        Returns ``(threads, depth, predicted_throughput)``.  Among grid
+        points within ``resource_slack`` of the predicted peak, the
+        *leanest* one wins (smallest t, then smallest N): a thread that
+        buys under 2% predicted throughput is a thread wasted — the same
+        trade the reactive tuner's ``min_marginal_gain`` encodes.
+
+        The default grids span the knob range *this kind's* training data
+        covered, so the model is never asked to extrapolate the surface it
+        jumps on — not even when another kind was swept wider.
+        """
+        weights, envelope = self._require_fit()
+        if not envelope.contains(context):
+            raise ValueError(
+                f"context {context!r} outside the training envelope; the "
+                "caller must fall back to reactive control instead"
+            )
+        if not 0.0 <= resource_slack < 1.0:
+            raise ValueError("resource_slack must be in [0, 1)")
+        min_t, max_t, min_d, max_d = envelope.kind_ranges[context.backend_kind]
+        threads_grid = list(
+            grid_threads if grid_threads is not None else range(min_t, max_t + 1)
+        )
+        if grid_depths is not None:
+            depths_grid = list(grid_depths)
+        else:
+            depths_grid, depth = [], min_d
+            while depth <= max_d:
+                depths_grid.append(depth)
+                depth *= 2
+        if not threads_grid or not depths_grid:
+            raise ValueError("argmax grids must be non-empty")
+
+        scored: List[Tuple[int, int, float]] = []
+        best = 0.0
+        for t in sorted(threads_grid):
+            for n in sorted(depths_grid):
+                pred = self.predict(t, n, context)
+                scored.append((t, n, pred))
+                if pred > best:
+                    best = pred
+        floor = best * (1.0 - resource_slack)
+        for t, n, pred in scored:  # ascending (t, N): first hit is leanest
+            if pred >= floor:
+                return (t, n, pred)
+        raise AssertionError("unreachable: the peak itself clears the floor")
+
+    # -- serialization ----------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        weights, envelope = self._require_fit()
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "ridge_throughput_model",
+            "ridge_lambda": self.ridge_lambda,
+            "weights": list(weights),
+            "envelope": envelope.to_dict(),
+            "n_samples": self.n_samples,
+            "fit_rmse_rel": self.fit_rmse_rel,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "ThroughputModel":
+        if doc.get("kind") != "ridge_throughput_model":
+            raise ModelSchemaError(
+                f"not a throughput model document (kind={doc.get('kind')!r})"
+            )
+        version = doc.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ModelSchemaError(
+                f"model schema version {version!r} does not match supported "
+                f"version {SCHEMA_VERSION}; re-fit the model from samples"
+            )
+        model = cls(ridge_lambda=float(doc["ridge_lambda"]))  # type: ignore[arg-type]
+        model.weights = [float(w) for w in doc["weights"]]  # type: ignore[union-attr]
+        model.envelope = Envelope.from_dict(doc["envelope"])  # type: ignore[arg-type]
+        model.n_samples = int(doc["n_samples"])  # type: ignore[arg-type]
+        model.fit_rmse_rel = float(doc["fit_rmse_rel"])  # type: ignore[arg-type]
+        return model
+
+    def save(self, path: str) -> None:
+        """Versioned JSON dump; two saves of one fit are byte-identical."""
+        with open(path, "w") as fh:
+            fh.write(json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":")))
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ThroughputModel":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+__all__ = ["Envelope", "ModelSchemaError", "ThroughputModel"]

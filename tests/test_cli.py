@@ -92,3 +92,34 @@ def test_profile_rejects_unknown_workload_and_shared_flags():
     with pytest.raises(SystemExit):
         parser.parse_args(["profile", "everything"])
     assert main(["profile", "simcore", "--seed", "7"]) == 2
+
+
+def test_predict_quick_runs_and_exports(capsys, tmp_path):
+    import json
+
+    samples = tmp_path / "samples.jsonl"
+    model_file = tmp_path / "model.json"
+    out_file = tmp_path / "predict.json"
+    assert main([
+        "predict", "--quick", "--quiet",
+        "--samples", str(samples), "--model-out", str(model_file),
+        "--out", str(out_file),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "predictive jumped to" in out
+    assert "live parity ok" in out
+
+    header = json.loads(samples.read_text().splitlines()[0])
+    assert header == {"kind": "perf_samples", "schema_version": 1}
+
+    from repro.perfmodel import ThroughputModel
+
+    model = ThroughputModel.load(str(model_file))
+    assert model.fitted
+
+    report = json.loads(out_file.read_text())
+    assert {r["backend_kind"] for r in report["results"]} == {"posix", "object"}
+
+
+def test_predict_rejects_trace(capsys):
+    assert main(["predict", "--trace", "/tmp/t.json"]) == 2
